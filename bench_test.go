@@ -1,0 +1,210 @@
+package rootreplay
+
+import (
+	"testing"
+
+	"rootreplay/internal/artc"
+	"rootreplay/internal/experiments"
+	"rootreplay/internal/magritte"
+)
+
+// One benchmark per table and figure in the paper's evaluation. Each
+// runs the corresponding experiment at Quick scale and reports the
+// headline derived metrics alongside the usual ns/op:
+//
+//	go test -bench=. -benchmem
+//
+// The cmd/rootbench tool runs the same experiments at full scale and
+// prints the complete row/series output.
+
+func BenchmarkTable3Magritte(b *testing.B) {
+	// The suite's semantic-correctness comparison on three
+	// representative traces (handoff-heavy, moderate, independent); the
+	// full 34 run in cmd/rootbench and TestFullMagritteSuite.
+	names := []string{"iphoto_import400", "pages_create15", "keynote_start20"}
+	for i := 0; i < b.N; i++ {
+		totalUC, totalARTC := 0, 0
+		for _, n := range names {
+			spec, ok := magritte.SpecByName(n)
+			if !ok {
+				b.Fatal("unknown spec")
+			}
+			opts := magritte.DefaultSuiteOptions()
+			opts.Gen.Scale = 0.005
+			res, err := magritte.RunOne(spec, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			totalUC += res.UCErrors
+			totalARTC += res.ARTCErrors
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(totalUC), "uc-errors")
+			b.ReportMetric(float64(totalARTC), "artc-errors")
+		}
+	}
+}
+
+func BenchmarkFig5aParallelism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5a(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			c8 := res.Comparisons[2]
+			for _, r := range c8.Runs {
+				b.ReportMetric(r.Err*100, string(r.Method)+"-err-pct")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5bRAID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5b(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range res.Comparisons[0].Runs {
+				b.ReportMetric(r.Err*100, string(r.Method)+"-err-pct")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5cCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5c(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range res.Comparisons[0].Runs {
+				b.ReportMetric(r.Err*100, string(r.Method)+"-err-pct")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5dSlice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5d(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range res.Comparisons[0].Runs {
+				b.ReportMetric(r.Err*100, string(r.Method)+"-err-pct")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6AnticipationSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, s := range res.Series {
+				if s.Label == "original" {
+					b.ReportMetric(s.Throughput[len(s.Throughput)-1]/s.Throughput[0], "orig-100ms/1ms-x")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig7aLevelDB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// One source/target pair per workload here; the full 7x7 matrix
+		// runs in BenchmarkFig7bErrorCDF and cmd/rootbench.
+		p := experiments.Quick()
+		res, err := experiments.Fig7Pair(p, 0, 6) // ext4-hdd -> ext4-ssd
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range res.Runs {
+				b.ReportMetric(r.Err*100, string(r.Method)+"-err-pct")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7bErrorCDF(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full 7x7 matrix")
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(experiments.Quick(), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.MeanError(artc.MethodARTC)*100, "artc-mean-err-pct")
+			b.ReportMetric(res.MeanError(artc.MethodTemporal)*100, "temporal-mean-err-pct")
+			b.ReportMetric(res.MeanError(artc.MethodSingle)*100, "single-mean-err-pct")
+		}
+	}
+}
+
+func BenchmarkFig8DependencyGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.ARTC.Edges), "artc-edges")
+			b.ReportMetric(float64(res.Temporal.Edges), "temporal-edges")
+			b.ReportMetric(float64(res.ARTC.MeanLength)/float64(res.Temporal.MeanLength), "edge-span-ratio")
+		}
+	}
+}
+
+func BenchmarkFig9Concurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Relative(artc.MethodARTC)*100, "artc-concurrency-pct")
+			b.ReportMetric(res.Relative(artc.MethodTemporal)*100, "temporal-concurrency-pct")
+		}
+	}
+}
+
+func BenchmarkFig10ThreadTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := experiments.Quick()
+		res, err := experiments.Fig10(p, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.MeanSpeedup(), "hdd/ssd-threadtime-x")
+		}
+	}
+}
+
+// BenchmarkCompile measures the compiler itself on a mid-size Magritte
+// trace: records/sec through analysis + graph building.
+func BenchmarkCompile(b *testing.B) {
+	spec, _ := magritte.SpecByName("pages_docphoto15")
+	gen, err := magritte.Generate(spec, magritte.GenOptions{Scale: 0.02, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(gen.Trace, gen.Snapshot, DefaultModes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(gen.Trace.Records)), "records")
+}

@@ -1,0 +1,262 @@
+// Command artc compiles and replays system-call traces.
+//
+//	artc compile -trace app.strace -format strace -snapshot init.snap -o app.bench
+//	artc replay  -bench app.bench -target linux-ext4-hdd -method artc -speed afap
+//	artc inspect -bench app.bench
+//
+// compile turns a trace (native or strace format) plus an optional
+// initial-state snapshot into a self-contained benchmark file. replay
+// executes a benchmark on a simulated target machine and reports timing
+// and semantic accuracy. inspect prints a benchmark's dependency-graph
+// statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"rootreplay/internal/artc"
+	"rootreplay/internal/core"
+	"rootreplay/internal/sim"
+	"rootreplay/internal/snapshot"
+	"rootreplay/internal/stack"
+	"rootreplay/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "compile":
+		err = compileCmd(os.Args[2:])
+	case "replay":
+		err = replayCmd(os.Args[2:])
+	case "inspect":
+		err = inspectCmd(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "artc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: artc <compile|replay|inspect> [flags]")
+	os.Exit(2)
+}
+
+func compileCmd(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace file (required)")
+	format := fs.String("format", "native", "trace format: native | strace | ibench")
+	snapPath := fs.String("snapshot", "", "initial snapshot file (optional; inferred if absent)")
+	out := fs.String("o", "out.bench", "output benchmark file")
+	modesFlag := fs.String("modes", artc.ModesString(core.DefaultModes()), "ordering modes")
+	fs.Parse(args)
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	switch *format {
+	case "strace":
+		tr, err = trace.ParseStrace(f)
+	case "ibench":
+		tr, err = trace.ParseIBench(f)
+	case "native":
+		tr, err = trace.Decode(f)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+
+	var snap *snapshot.Snapshot
+	if *snapPath != "" {
+		sf, err := os.Open(*snapPath)
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		if snap, err = snapshot.Decode(sf); err != nil {
+			return err
+		}
+	}
+	modes, err := artc.ParseModes(*modesFlag)
+	if err != nil {
+		return err
+	}
+	b, err := artc.Compile(tr, snap, modes)
+	if err != nil {
+		return err
+	}
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	if err := b.Encode(of); err != nil {
+		return err
+	}
+	fmt.Printf("compiled %d records, %d threads, %d dependency edges -> %s\n",
+		len(b.Trace.Records), len(b.Trace.Threads()), len(b.Graph.Edges), *out)
+	if len(b.Analysis.Warnings) > 0 {
+		fmt.Printf("%d model warnings (first: %s)\n", len(b.Analysis.Warnings), b.Analysis.Warnings[0])
+	}
+	return nil
+}
+
+// targetConfig parses "platform-fsprofile-device[-sched]" names like
+// "linux-ext4-hdd" or "osx-hfs+-ssd-noop".
+func targetConfig(name string, cachePages int64, slice time.Duration) (stack.Config, error) {
+	parts := strings.Split(name, "-")
+	if len(parts) < 3 {
+		return stack.Config{}, fmt.Errorf("target %q: want platform-fs-device[-sched]", name)
+	}
+	conf := stack.Config{Name: name, Platform: stack.Platform(parts[0])}
+	prof, ok := stack.ProfileByName(parts[1])
+	if !ok {
+		return stack.Config{}, fmt.Errorf("unknown fs profile %q", parts[1])
+	}
+	conf.Profile = prof
+	switch parts[2] {
+	case "hdd":
+		conf.Device = stack.DeviceHDD
+	case "ssd":
+		conf.Device = stack.DeviceSSD
+	case "raid0":
+		conf.Device = stack.DeviceRAID
+	default:
+		return stack.Config{}, fmt.Errorf("unknown device %q", parts[2])
+	}
+	conf.Scheduler = stack.SchedCFQ
+	if len(parts) > 3 {
+		switch parts[3] {
+		case "noop":
+			conf.Scheduler = stack.SchedNoop
+		case "deadline":
+			conf.Scheduler = stack.SchedDeadline
+		case "cfq":
+		default:
+			return stack.Config{}, fmt.Errorf("unknown scheduler %q", parts[3])
+		}
+	}
+	conf.CachePages = cachePages
+	conf.SliceSync = slice
+	return conf, nil
+}
+
+func replayCmd(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	benchPath := fs.String("bench", "", "benchmark file (required)")
+	target := fs.String("target", "linux-ext4-hdd", "target machine: platform-fs-device[-sched]")
+	method := fs.String("method", "artc", "replay method: artc | single | temporal | unconstrained")
+	speed := fs.String("speed", "afap", "replay speed: afap | natural | scaled")
+	scale := fs.Float64("scale", 1.0, "predelay multiplier for -speed scaled")
+	cache := fs.Int64("cache-pages", 0, "page-cache capacity in 4KiB pages (0 = 1GiB)")
+	slice := fs.Duration("slice", 0, "CFQ slice_sync (0 = 100ms default)")
+	fullFsync := fs.Bool("osx-full-fsync", false, "use F_FULLFSYNC when emulating Linux fsync on OS X")
+	timeline := fs.Bool("timeline", false, "print a per-thread replay timeline (Figure 9 style)")
+	fs.Parse(args)
+	if *benchPath == "" {
+		return fmt.Errorf("-bench is required")
+	}
+	bf, err := os.Open(*benchPath)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	b, err := artc.Decode(bf)
+	if err != nil {
+		return err
+	}
+	conf, err := targetConfig(*target, *cache, *slice)
+	if err != nil {
+		return err
+	}
+	opts := artc.Options{Method: artc.Method(*method), FullFsyncOnOSX: *fullFsync}
+	switch *speed {
+	case "afap":
+		opts.Speed = artc.AFAP
+	case "natural":
+		opts.Speed = artc.Natural
+	case "scaled":
+		opts.Speed = artc.Scaled
+		opts.Scale = *scale
+	default:
+		return fmt.Errorf("unknown speed %q", *speed)
+	}
+
+	k := sim.NewKernel()
+	sys := stack.New(k, conf)
+	if err := artc.Init(sys, b, ""); err != nil {
+		return err
+	}
+	rep, err := artc.Replay(sys, b, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d actions on %s in %v (virtual)\n", rep.Actions, conf.Name, rep.Elapsed)
+	fmt.Printf("method=%s errors=%d emulated=%d concurrency=%.2f\n",
+		rep.Method, rep.Errors, rep.Emulated, rep.Concurrency())
+	for _, s := range rep.ErrorSamples {
+		fmt.Printf("  mismatch: %s\n", s)
+	}
+	fmt.Println("per-call time:")
+	var calls []string
+	for c := range rep.CallTime {
+		calls = append(calls, c)
+	}
+	sort.Slice(calls, func(i, j int) bool { return rep.CallTime[calls[i]] > rep.CallTime[calls[j]] })
+	for _, c := range calls {
+		fmt.Printf("  %-16s n=%-8d t=%v\n", c, rep.CallCount[c], rep.CallTime[c].Round(time.Microsecond))
+	}
+	if *timeline {
+		fmt.Print(rep.Timeline(b, 100))
+	}
+	return nil
+}
+
+func inspectCmd(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	benchPath := fs.String("bench", "", "benchmark file (required)")
+	fs.Parse(args)
+	if *benchPath == "" {
+		return fmt.Errorf("-bench is required")
+	}
+	bf, err := os.Open(*benchPath)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	b, err := artc.Decode(bf)
+	if err != nil {
+		return err
+	}
+	st := b.Graph.Stats(b.Analysis)
+	tg := core.TemporalGraph(b.Analysis)
+	tst := tg.Stats(b.Analysis)
+	fmt.Printf("platform:      %s\n", b.Platform)
+	fmt.Printf("modes:         %s\n", artc.ModesString(b.Modes))
+	fmt.Printf("records:       %d\n", len(b.Trace.Records))
+	fmt.Printf("threads:       %d\n", len(b.Trace.Threads()))
+	fmt.Printf("snapshot:      %d entries\n", len(b.Snapshot.Entries))
+	fmt.Printf("artc edges:    %d (mean span %v, max %v)\n", st.Edges, st.MeanLength, st.MaxLength)
+	fmt.Printf("temporal edges: %d (mean span %v)\n", tst.Edges, tst.MeanLength)
+	fmt.Printf("warnings:      %d\n", len(b.Analysis.Warnings))
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command magritte runs the Magritte benchmark suite: 34 traces of
+// Apple desktop applications, replayed with ARTC.
+//
+//	magritte -table3                  # semantic-correctness table
+//	magritte -trace iphoto_edit400    # one trace, with breakdown
+//	magritte -export DIR              # write all traces + snapshots
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rootreplay/internal/magritte"
+)
+
+func main() {
+	table3 := flag.Bool("table3", false, "run the full suite and print Table 3")
+	one := flag.String("trace", "", "run a single named trace")
+	export := flag.String("export", "", "write every trace and snapshot into a directory")
+	scale := flag.Float64("scale", 0.01, "trace scale (1.0 = full Table 3 event counts)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	noSymlink := flag.Bool("no-dev-random-symlink", false, "disable the /dev/random->urandom fix")
+	flag.Parse()
+
+	opts := magritte.DefaultSuiteOptions()
+	opts.Gen.Scale = *scale
+	opts.Gen.Seed = *seed
+	opts.DevRandomSymlink = !*noSymlink
+
+	switch {
+	case *export != "":
+		if err := exportAll(*export, opts); err != nil {
+			fail(err)
+		}
+	case *one != "":
+		spec, ok := magritte.SpecByName(*one)
+		if !ok {
+			fail(fmt.Errorf("unknown trace %q", *one))
+		}
+		res, err := magritte.RunOne(spec, opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: %d events, UC errors %d, ARTC errors %d, elapsed %v\n",
+			res.Name, res.Events, res.UCErrors, res.ARTCErrors, res.ARTCElapsed)
+		fmt.Println("thread-time by category:")
+		for _, cat := range magritte.SortedCategories(res.ThreadTimeByCat) {
+			fmt.Printf("  %-12s %v\n", cat, res.ThreadTimeByCat[cat])
+		}
+	case *table3:
+		results, err := magritte.RunSuite(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(magritte.FormatTable3(results))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func exportAll(dir string, opts magritte.SuiteOptions) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, spec := range magritte.Specs {
+		o := opts.Gen
+		o.Seed = opts.Gen.Seed + int64(i)*1000003
+		gen, err := magritte.Generate(spec, o)
+		if err != nil {
+			return err
+		}
+		tp := filepath.Join(dir, spec.FullName()+".trace")
+		sp := filepath.Join(dir, spec.FullName()+".snap")
+		tf, err := os.Create(tp)
+		if err != nil {
+			return err
+		}
+		if err := gen.Trace.Encode(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		tf.Close()
+		sf, err := os.Create(sp)
+		if err != nil {
+			return err
+		}
+		if err := gen.Snapshot.Encode(sf); err != nil {
+			sf.Close()
+			return err
+		}
+		sf.Close()
+		fmt.Printf("%-24s %7d events -> %s\n", spec.FullName(), len(gen.Trace.Records), tp)
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "magritte: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command rootbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rootbench -exp fig5a              # one experiment
+//	rootbench -exp all                # everything
+//	rootbench -exp table3 -quick      # reduced scale
+//	rootbench -list
+//
+// Experiments: table3, fig5a, fig5b, fig5c, fig5d, fig6, fig7, fig8,
+// fig9, fig10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rootreplay/internal/experiments"
+)
+
+// formatter is the common shape of experiment results.
+type formatter interface{ Format() string }
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (or 'all')")
+	quick := flag.Bool("quick", false, "use reduced workload sizes")
+	list := flag.Bool("list", false, "list experiments")
+	fillsyncPairs := flag.Int("fillsync-pairs", 7, "fillsync source/target pairs in fig7 (0 = all 49)")
+	fig10Traces := flag.Int("fig10-traces", 12, "Magritte traces in fig10 (0 = all 34)")
+	flag.Parse()
+
+	runners := []struct {
+		name string
+		run  func(experiments.Params) (formatter, error)
+	}{
+		{"table3", func(p experiments.Params) (formatter, error) { return experiments.Table3(p) }},
+		{"fig5a", func(p experiments.Params) (formatter, error) { return experiments.Fig5a(p) }},
+		{"fig5b", func(p experiments.Params) (formatter, error) { return experiments.Fig5b(p) }},
+		{"fig5c", func(p experiments.Params) (formatter, error) { return experiments.Fig5c(p) }},
+		{"fig5d", func(p experiments.Params) (formatter, error) { return experiments.Fig5d(p) }},
+		{"fig6", func(p experiments.Params) (formatter, error) { return experiments.Fig6(p) }},
+		{"fig7", func(p experiments.Params) (formatter, error) { return experiments.Fig7(p, *fillsyncPairs) }},
+		{"fig8", func(p experiments.Params) (formatter, error) { return experiments.Fig8(p) }},
+		{"fig9", func(p experiments.Params) (formatter, error) { return experiments.Fig9(p) }},
+		{"fig10", func(p experiments.Params) (formatter, error) { return experiments.Fig10(p, *fig10Traces) }},
+		{"ablation", func(p experiments.Params) (formatter, error) { return experiments.Ablation(p) }},
+	}
+
+	if *list {
+		for _, r := range runners {
+			fmt.Println(r.name)
+		}
+		return
+	}
+
+	params := experiments.Default()
+	if *quick {
+		params = experiments.Quick()
+	}
+
+	want := strings.Split(*exp, ",")
+	matched := false
+	for _, r := range runners {
+		if *exp != "all" && !contains(want, r.name) {
+			continue
+		}
+		matched = true
+		fmt.Printf("== %s ==\n", r.name)
+		res, err := r.run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rootbench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "rootbench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+// Command tracegen produces traces (and their snapshots) by running
+// built-in workloads on a simulated source machine, so benchmarks can be
+// compiled and replayed without external trace files.
+//
+//	tracegen -workload randomreaders -threads 8 -o rr.trace -snapshot rr.snap
+//	tracegen -workload readrandom -source linux-ext4-hdd -o db.trace -snapshot db.snap
+//	tracegen -workload magritte:iphoto_edit400 -scale 0.01 -o iphoto.trace -snapshot iphoto.snap
+//
+// Workloads: randomreaders, cachereaders, seqcompetitors, fillsync,
+// readrandom, magritte:<name>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rootreplay/internal/leveldb"
+	"rootreplay/internal/magritte"
+	"rootreplay/internal/snapshot"
+	"rootreplay/internal/stack"
+	"rootreplay/internal/trace"
+	"rootreplay/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "randomreaders", "workload name (see doc)")
+	source := flag.String("source", "linux-ext4-hdd", "source machine (platform-fs-device)")
+	threads := flag.Int("threads", 4, "workload threads")
+	ops := flag.Int("ops", 500, "operations per thread")
+	fileMB := flag.Int64("file-mb", 1024, "per-file size for microbenchmarks (MiB)")
+	records := flag.Int("records", 20000, "database records for readrandom")
+	scale := flag.Float64("scale", 0.01, "magritte trace scale")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	out := flag.String("o", "out.trace", "output trace file")
+	snapOut := flag.String("snapshot", "out.snap", "output snapshot file")
+	flag.Parse()
+
+	if err := run(*wl, *source, *threads, *ops, *fileMB, *records, *scale, *seed, *out, *snapOut); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, source string, threads, ops int, fileMB int64, records int, scale float64, seed int64, out, snapOut string) error {
+	var tr *trace.Trace
+	var snap *snapshot.Snapshot
+	var elapsed time.Duration
+
+	if name, ok := strings.CutPrefix(wl, "magritte:"); ok {
+		spec, found := magritte.SpecByName(name)
+		if !found {
+			return fmt.Errorf("unknown magritte trace %q", name)
+		}
+		gen, err := magritte.Generate(spec, magritte.GenOptions{Scale: scale, Seed: seed})
+		if err != nil {
+			return err
+		}
+		tr, snap = gen.Trace, gen.Snapshot
+		elapsed = tr.Duration()
+	} else {
+		conf, err := sourceConfig(source)
+		if err != nil {
+			return err
+		}
+		w, err := makeWorkload(wl, threads, ops, fileMB<<20, records, seed)
+		if err != nil {
+			return err
+		}
+		tr, snap, elapsed, err = workload.TraceWorkload(conf, w)
+		if err != nil {
+			return err
+		}
+	}
+
+	tf, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := tr.Encode(tf); err != nil {
+		return err
+	}
+	sf, err := os.Create(snapOut)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	if err := snap.Encode(sf); err != nil {
+		return err
+	}
+	fmt.Printf("traced %d records / %d threads over %v (virtual) -> %s, %s\n",
+		len(tr.Records), len(tr.Threads()), elapsed, out, snapOut)
+	return nil
+}
+
+func sourceConfig(name string) (stack.Config, error) {
+	parts := strings.Split(name, "-")
+	if len(parts) < 3 {
+		return stack.Config{}, fmt.Errorf("source %q: want platform-fs-device", name)
+	}
+	prof, ok := stack.ProfileByName(parts[1])
+	if !ok {
+		return stack.Config{}, fmt.Errorf("unknown fs profile %q", parts[1])
+	}
+	conf := stack.Config{Name: name, Platform: stack.Platform(parts[0]), Profile: prof, Scheduler: stack.SchedCFQ}
+	switch parts[2] {
+	case "hdd":
+		conf.Device = stack.DeviceHDD
+	case "ssd":
+		conf.Device = stack.DeviceSSD
+	case "raid0":
+		conf.Device = stack.DeviceRAID
+	default:
+		return stack.Config{}, fmt.Errorf("unknown device %q", parts[2])
+	}
+	return conf, nil
+}
+
+func makeWorkload(name string, threads, ops int, fileBytes int64, records int, seed int64) (workload.Workload, error) {
+	switch name {
+	case "randomreaders":
+		return &workload.RandomReaders{Threads: threads, ReadsPerThread: ops, FileBytes: fileBytes, Seed: seed}, nil
+	case "cachereaders":
+		return &workload.CacheReaders{ReadsPerThread: ops, FileBytes: fileBytes, Seed: seed}, nil
+	case "seqcompetitors":
+		return &workload.SeqCompetitors{ReadsPerThread: ops, FileBytes: fileBytes}, nil
+	case "fillsync":
+		return &leveldb.FillSync{Threads: threads, OpsPerThread: ops, ValueBytes: 512, Seed: seed}, nil
+	case "readrandom":
+		return &leveldb.ReadRandom{Threads: threads, OpsPerThread: ops, Records: records, ValueBytes: 512, Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}

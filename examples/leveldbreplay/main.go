@@ -1,0 +1,68 @@
+// leveldbreplay: the paper's macrobenchmark scenario (§5.2.2) as an
+// application of the public API — predict how an embedded database
+// workload traced on a disk-backed machine would perform on an SSD, and
+// compare each replay method's prediction with the truth.
+//
+//	go run ./examples/leveldbreplay
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rootreplay"
+	"rootreplay/internal/leveldb"
+	"rootreplay/internal/metrics"
+	"rootreplay/internal/sim"
+	"rootreplay/internal/stack"
+	"rootreplay/internal/workload"
+)
+
+func main() {
+	source := stack.Config{
+		Name: "office-server (ext4/hdd)", Platform: stack.Linux,
+		Profile: stack.Ext4, Device: stack.DeviceHDD, Scheduler: stack.SchedCFQ,
+	}
+	target := stack.Config{
+		Name: "new-ssd-box (ext4/ssd)", Platform: stack.Linux,
+		Profile: stack.Ext4, Device: stack.DeviceSSD, Scheduler: stack.SchedCFQ,
+	}
+	mkWorkload := func() *leveldb.ReadRandom {
+		return &leveldb.ReadRandom{Threads: 8, OpsPerThread: 150, Records: 10000, ValueBytes: 512, Seed: 99}
+	}
+
+	// Trace the database's measured phase on the source machine.
+	tr, snap, srcElapsed, err := workload.TraceWorkload(source, mkWorkload())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traced readrandom on %s: %d syscalls, %v\n", source.Name, len(tr.Records), srcElapsed)
+
+	// Ground truth: the real program on the target.
+	truth, err := workload.Run(target, mkWorkload())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ground truth on %s: %v\n\n", target.Name, truth)
+
+	// Predictions by replaying the source trace on the target.
+	b, err := rootreplay.Compile(tr, snap, rootreplay.DefaultModes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("predictions from replaying the HDD trace on the SSD:")
+	for _, method := range []rootreplay.Method{
+		rootreplay.MethodSingle, rootreplay.MethodTemporal, rootreplay.MethodARTC,
+	} {
+		sys := stack.New(sim.NewKernel(), target)
+		if err := rootreplay.InitSystem(sys, b); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := rootreplay.Replay(sys, b, rootreplay.Options{Method: method})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s predicts %-12v (error %s, concurrency %.2f)\n",
+			method, rep.Elapsed, metrics.PctString(metrics.RelError(rep.Elapsed, truth)), rep.Concurrency())
+	}
+}

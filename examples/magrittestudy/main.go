@@ -1,0 +1,60 @@
+// magrittestudy: the paper's §6 case study — use Magritte benchmarks and
+// ARTC's detailed output to compare where thread-time goes on a disk
+// versus an SSD, per application family (Figure 10).
+//
+//	go run ./examples/magrittestudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rootreplay"
+	"rootreplay/internal/magritte"
+	"rootreplay/internal/stack"
+)
+
+func main() {
+	traces := []string{"iphoto_start400", "itunes_album1", "pages_open15", "numbers_start5", "keynote_play20"}
+	hdd := stack.Config{Name: "linux-ext4-hdd", Platform: stack.Linux,
+		Profile: stack.Ext4, Device: stack.DeviceHDD, Scheduler: stack.SchedCFQ}
+	ssd := hdd
+	ssd.Name, ssd.Device = "linux-ext4-ssd", stack.DeviceSSD
+
+	fmt.Printf("%-18s %-5s %9s  %s\n", "trace", "dev", "total", "breakdown (share of HDD thread-time)")
+	for _, name := range traces {
+		spec, ok := magritte.SpecByName(name)
+		if !ok {
+			log.Fatalf("unknown trace %s", name)
+		}
+		gen, err := magritte.Generate(spec, magritte.GenOptions{Scale: 0.02, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := rootreplay.Compile(gen.Trace, gen.Snapshot, rootreplay.DefaultModes())
+		if err != nil {
+			log.Fatal(err)
+		}
+		hddCat, hddTotal, err := magritte.ThreadTimeRun(b, hdd, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ssdCat, ssdTotal, err := magritte.ThreadTimeRun(b, ssd, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		print := func(dev string, byCat map[string]time.Duration, total time.Duration) {
+			line := fmt.Sprintf("%-18s %-5s %9v ", name, dev, total.Round(time.Millisecond))
+			for _, cat := range magritte.Categories {
+				share := float64(byCat[cat]) / float64(hddTotal)
+				line += fmt.Sprintf(" %s=%.2f", cat, share)
+			}
+			fmt.Println(line)
+			name = ""
+		}
+		print("hdd", hddCat, hddTotal)
+		print("ssd", ssdCat, ssdTotal)
+		fmt.Printf("%-18s speedup: %.1fx\n", "", float64(hddTotal)/float64(ssdTotal))
+	}
+}

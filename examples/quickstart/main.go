@@ -1,0 +1,64 @@
+// Quickstart: parse an strace-format trace, compile it with ARTC, and
+// replay it on a simulated machine — the whole pipeline in one file.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rootreplay"
+)
+
+// A tiny two-thread strace capture: thread 1001 opens and hands a file
+// to thread 1002 through a shared descriptor, while creating an output
+// file it renames into place.
+const sample = `1001 1679588291.000100 open("/data/input.csv", O_RDONLY) = 3 <0.000020>
+1001 1679588291.000200 read(3, "a,b,c"..., 8192) = 8192 <0.000150>
+1002 1679588291.000300 read(3, "d,e,f"..., 8192) = 8192 <0.000140>
+1002 1679588291.000500 open("/data/out.tmp", O_WRONLY|O_CREAT|O_TRUNC, 0644) = 4 <0.000030>
+1002 1679588291.000600 write(4, "result"..., 4096) = 4096 <0.000050>
+1002 1679588291.000700 fsync(4) = 0 <0.002100>
+1002 1679588291.000900 close(4) = 0 <0.000004>
+1002 1679588291.001000 rename("/data/out.tmp", "/data/out.csv") = 0 <0.000040>
+1001 1679588291.001100 close(3) = 0 <0.000005>
+1001 1679588291.001200 stat("/data/out.csv", {st_size=4096}) = 0 <0.000012>
+`
+
+func main() {
+	// 1. Parse the trace. The initial file tree (input.csv must exist,
+	//    sized to cover the reads) is inferred from the trace itself.
+	tr, err := rootreplay.ParseStrace(strings.NewReader(sample))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %d records from %d threads\n", len(tr.Records), len(tr.Threads()))
+
+	// 2. Compile: ROOT's resource analysis turns the trace into a
+	//    partial order (who must wait for whom).
+	b, err := rootreplay.Compile(tr, nil, rootreplay.DefaultModes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d cross-thread dependency edges\n", len(b.Graph.Edges))
+	for _, e := range b.Graph.Edges {
+		fmt.Printf("  action %d waits for action %d (resource %s)\n", e.To, e.From, e.Res)
+	}
+
+	// 3. Replay on a simulated Linux/ext4/HDD machine.
+	for _, method := range []rootreplay.Method{
+		rootreplay.MethodARTC, rootreplay.MethodSingle, rootreplay.MethodUnconstrained,
+	} {
+		sys := rootreplay.NewSystem(rootreplay.DefaultConfig())
+		if err := rootreplay.InitSystem(sys, b); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := rootreplay.Replay(sys, b, rootreplay.Options{Method: method})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s elapsed=%-10v semantic-errors=%d\n", method, rep.Elapsed, rep.Errors)
+	}
+}

@@ -1,0 +1,3 @@
+module rootreplay
+
+go 1.22

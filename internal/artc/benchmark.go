@@ -1,0 +1,251 @@
+// Package artc is the approximate-replay trace compiler: it applies the
+// ROOT ordering rules (internal/core) to UNIX system-call traces,
+// compiling a trace plus an initial file-tree snapshot into a replayable
+// benchmark, and replays benchmarks on simulated target systems
+// (internal/stack) with a choice of ordering methods:
+//
+//   - artc: ROOT resource-ordering dependencies (the paper's tool);
+//   - single: one replay thread issues every call in trace order;
+//   - temporal: one replay thread per traced thread, calls issued in
+//     trace order (overlap preserved, no reordering);
+//   - unconstrained: per-thread replay with no cross-thread
+//     synchronization at all.
+//
+// Cross-platform replay is supported by emulating source-platform calls
+// that the target lacks (§4.3.4).
+package artc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"rootreplay/internal/core"
+	"rootreplay/internal/snapshot"
+	"rootreplay/internal/trace"
+	"rootreplay/internal/vfs"
+)
+
+// Benchmark is a compiled, replayable trace.
+type Benchmark struct {
+	// Platform is the source platform the trace was collected on.
+	Platform string
+	// Modes are the ordering modes the dependency graph was built with.
+	Modes core.ModeSet
+	// Trace holds the raw records.
+	Trace *trace.Trace
+	// Snapshot is the initial file-tree state.
+	Snapshot *snapshot.Snapshot
+	// Analysis and Graph are the compiler's outputs: resource touch sets
+	// and the ARTC dependency graph.
+	Analysis *core.Analysis
+	// Graph holds the ARTC (resource-ordering) dependency edges.
+	Graph *core.Graph
+}
+
+// Compile builds a benchmark from a trace and snapshot under the given
+// ordering modes. A nil snapshot is inferred from the trace itself
+// (every successfully accessed path that the trace did not create must
+// pre-exist, sized to cover the largest read).
+func Compile(tr *trace.Trace, snap *snapshot.Snapshot, modes core.ModeSet) (*Benchmark, error) {
+	tr.Renumber()
+	if snap == nil {
+		snap = InferSnapshot(tr)
+	}
+	fs := vfs.New()
+	if err := snapshot.RestoreTree(fs, "", snap); err != nil {
+		return nil, fmt.Errorf("artc: restoring snapshot for analysis: %w", err)
+	}
+	an, err := core.Analyze(tr, fs)
+	if err != nil {
+		return nil, fmt.Errorf("artc: analysis: %w", err)
+	}
+	g := core.BuildGraph(an, modes)
+	if err := g.CheckAcyclic(); err != nil {
+		return nil, err
+	}
+	return &Benchmark{
+		Platform: tr.Platform,
+		Modes:    modes,
+		Trace:    tr,
+		Snapshot: snap,
+		Analysis: an,
+		Graph:    g,
+	}, nil
+}
+
+// InferSnapshot derives the minimal initial state a trace requires.
+func InferSnapshot(tr *trace.Trace) *snapshot.Snapshot {
+	var pre []snapshot.PreScanRecord
+	for _, r := range tr.Records {
+		ps := snapshot.PreScanRecord{
+			Call: canonicalFor(r), Path: r.Path, Path2: r.Path2,
+			FD: r.FD, Size: r.Size, Offset: r.Offset, OK: r.OK(),
+		}
+		if ps.Call == "open" {
+			ps.FD = r.Ret
+			ps.Creates = r.Flags&trace.OCreat != 0
+			ps.IsDir = r.Flags&trace.ODir != 0
+		}
+		pre = append(pre, ps)
+	}
+	return snapshot.FromTrace(pre)
+}
+
+func canonicalFor(r *trace.Record) string {
+	// Local copy of the canonical-name logic used during prescan.
+	switch r.Call {
+	case "open64", "openat", "creat", "creat64":
+		return "open"
+	case "pread64":
+		return "pread"
+	case "stat64", "lstat64":
+		return strings.TrimSuffix(r.Call, "64")
+	default:
+		return r.Call
+	}
+}
+
+// Encode writes the benchmark as a single self-contained text artifact:
+// a header, the snapshot section, and the trace section. This is the
+// moral equivalent of ARTC's generated-C benchmark: compile once,
+// replay anywhere.
+func (b *Benchmark) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#artc-benchmark v1 platform=%s modes=%s\n", b.Platform, encodeModes(b.Modes))
+	bw.WriteString("%%snapshot\n")
+	if err := b.Snapshot.Encode(bw); err != nil {
+		return err
+	}
+	bw.WriteString("%%trace\n")
+	if err := b.Trace.Encode(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode reads an encoded benchmark and recompiles it (the analysis and
+// dependency graph are deterministic functions of trace + snapshot +
+// modes, so they are rebuilt rather than serialized).
+func Decode(r io.Reader) (*Benchmark, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("artc: reading benchmark header: %w", err)
+	}
+	if !strings.HasPrefix(header, "#artc-benchmark") {
+		return nil, fmt.Errorf("artc: not a benchmark file")
+	}
+	platform := "linux"
+	modes := core.DefaultModes()
+	for _, f := range strings.Fields(header) {
+		if v, ok := strings.CutPrefix(f, "platform="); ok {
+			platform = v
+		}
+		if v, ok := strings.CutPrefix(f, "modes="); ok {
+			m, err := decodeModes(v)
+			if err != nil {
+				return nil, err
+			}
+			modes = m
+		}
+	}
+	var snapText, traceText strings.Builder
+	section := ""
+	for {
+		line, err := br.ReadString('\n')
+		if line != "" {
+			switch strings.TrimSpace(line) {
+			case "%%snapshot":
+				section = "snapshot"
+			case "%%trace":
+				section = "trace"
+			default:
+				switch section {
+				case "snapshot":
+					snapText.WriteString(line)
+				case "trace":
+					traceText.WriteString(line)
+				}
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	snap, err := snapshot.Decode(strings.NewReader(snapText.String()))
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.Decode(strings.NewReader(traceText.String()))
+	if err != nil {
+		return nil, err
+	}
+	tr.Platform = platform
+	return Compile(tr, snap, modes)
+}
+
+// encodeModes renders a ModeSet as a comma-joined flag list.
+func encodeModes(m core.ModeSet) string {
+	var parts []string
+	if m.ProgramSeq {
+		parts = append(parts, "program_seq")
+	}
+	if m.FileSeq {
+		parts = append(parts, "file_seq")
+	}
+	if m.PathStageName {
+		parts = append(parts, "path_stage+")
+	}
+	if m.FDStage {
+		parts = append(parts, "fd_stage")
+	}
+	if m.FDSeq {
+		parts = append(parts, "fd_seq")
+	}
+	if m.AIOStage {
+		parts = append(parts, "aio_stage")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// decodeModes parses the encodeModes format; "none" is the empty set.
+func decodeModes(s string) (core.ModeSet, error) {
+	var m core.ModeSet
+	if s == "none" || s == "" {
+		return m, nil
+	}
+	for _, p := range strings.Split(s, ",") {
+		switch p {
+		case "program_seq":
+			m.ProgramSeq = true
+		case "file_seq":
+			m.FileSeq = true
+		case "path_stage+":
+			m.PathStageName = true
+		case "fd_stage":
+			m.FDStage = true
+		case "fd_seq":
+			m.FDSeq = true
+		case "aio_stage":
+			m.AIOStage = true
+		default:
+			return m, fmt.Errorf("artc: unknown mode %q", p)
+		}
+	}
+	return m, nil
+}
+
+// ParseModes exposes mode-list parsing for CLI flags (e.g.
+// "file_seq,path_stage+,fd_stage").
+func ParseModes(s string) (core.ModeSet, error) { return decodeModes(s) }
+
+// ModesString renders modes for display.
+func ModesString(m core.ModeSet) string { return encodeModes(m) }

@@ -1,0 +1,190 @@
+package artc
+
+import (
+	"testing"
+
+	"rootreplay/internal/sim"
+	"rootreplay/internal/stack"
+	"rootreplay/internal/trace"
+)
+
+// osxTrace traces a workload exercising every OS X-specific call.
+func osxTrace(t *testing.T) (*trace.Trace, *Benchmark) {
+	t.Helper()
+	osxConf := stack.Config{
+		Name: "osx", Platform: stack.OSX, Profile: stack.HFSPlus,
+		Device: stack.DeviceHDD, Scheduler: stack.SchedNoop,
+	}
+	tr, snap := traceWorkload(t, osxConf,
+		func(sys *stack.System) error {
+			for _, p := range []string{"/L/a", "/L/b", "/L/c"} {
+				if err := sys.SetupCreate(p, 8192); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(sys *stack.System, th *sim.Thread) {
+			sys.Getattrlist(th, "/L/a", "common")
+			sys.Setattrlist(th, "/L/a", "common")
+			sys.Exchangedata(th, "/L/a", "/L/b")
+			sys.Fsctl(th, "/L/c")
+			sys.Searchfs(th, "/L")
+			sys.Vfsconf(th, "/L")
+			fd, _ := sys.Open(th, "/L", trace.ORdonly|trace.ODir, 0)
+			sys.Getdirentriesattr(th, fd, 10)
+			sys.Close(th, fd)
+			f, _ := sys.Open(th, "/L/c", trace.ORdwr, 0)
+			sys.Fcntl(th, f, "F_RDADVISE", 4096)
+			sys.Fcntl(th, f, "F_PREALLOCATE", 65536)
+			sys.Fcntl(th, f, "F_NOCACHE", 1)
+			sys.Write(th, f, 4096)
+			sys.Fcntl(th, f, "F_FULLFSYNC", 0)
+			sys.Close(th, f)
+			sys.Setxattr(th, "/L/c", "com.apple.x", 16, true)
+			sys.Getxattr(th, "/L/c", "com.apple.x", true)
+			sys.Listxattr(th, "/L/c", true)
+			sys.Removexattr(th, "/L/c", "com.apple.x", true)
+		})
+	b, err := Compile(tr, snap, DefaultModesForTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, b
+}
+
+// The OS X trace must replay without stalls on every target platform;
+// semantic mismatches are bounded to the xattr calls on Illumos (which
+// has no flat xattr surface, so the emulation degrades to metadata
+// accesses with ENODATA results).
+func TestEmulationOnAllTargets(t *testing.T) {
+	_, b := osxTrace(t)
+	targets := []struct {
+		platform   stack.Platform
+		profile    stack.FSProfile
+		maxErrors  int
+		minEmulate int
+	}{
+		{stack.OSX, stack.HFSPlus, 0, 0},
+		{stack.Linux, stack.Ext4, 0, 7},
+		{stack.FreeBSD, stack.Ext4, 0, 7},
+		{stack.Illumos, stack.Ext4, 2 /* getxattr+listxattr degrade */, 7},
+	}
+	for _, tc := range targets {
+		conf := stack.Config{
+			Name: "tgt-" + string(tc.platform), Platform: tc.platform,
+			Profile: tc.profile, Device: stack.DeviceHDD, Scheduler: stack.SchedNoop,
+		}
+		k := sim.NewKernel()
+		sys := stack.New(k, conf)
+		if err := Init(sys, b, ""); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Replay(sys, b, Options{SelfCheck: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.platform, err)
+		}
+		if rep.Errors > tc.maxErrors {
+			t.Errorf("%s: %d errors (max %d): %v", tc.platform, rep.Errors, tc.maxErrors, rep.ErrorSamples)
+		}
+		if rep.Emulated < tc.minEmulate {
+			t.Errorf("%s: emulated %d calls, want >= %d", tc.platform, rep.Emulated, tc.minEmulate)
+		}
+	}
+}
+
+// Exchangedata emulation on Linux (link + two renames) must preserve the
+// swap semantics: after replay the two paths have exchanged sizes.
+func TestExchangedataEmulationSemantics(t *testing.T) {
+	osxConf := stack.Config{
+		Name: "osx", Platform: stack.OSX, Profile: stack.HFSPlus,
+		Device: stack.DeviceHDD, Scheduler: stack.SchedNoop,
+	}
+	tr, snap := traceWorkload(t, osxConf,
+		func(sys *stack.System) error {
+			if err := sys.SetupCreate("/a", 111); err != nil {
+				return err
+			}
+			return sys.SetupCreate("/b", 222)
+		},
+		func(sys *stack.System, th *sim.Thread) {
+			sys.Exchangedata(th, "/a", "/b")
+			na, _ := sys.Stat(th, "/a")
+			nb, _ := sys.Stat(th, "/b")
+			if na != 222 || nb != 111 {
+				t.Errorf("source-side exchange wrong: %d, %d", na, nb)
+			}
+		})
+	b, err := Compile(tr, snap, DefaultModesForTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	sys := stack.New(k, defaultConf()) // linux
+	if err := Init(sys, b, ""); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(sys, b, Options{SelfCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors: %v", rep.ErrorSamples)
+	}
+	// Verify the emulated swap really swapped on the target.
+	ia, _ := sys.FS.Resolve(nil, "/a")
+	ib, _ := sys.FS.Resolve(nil, "/b")
+	if ia.Size != 222 || ib.Size != 111 {
+		t.Fatalf("target sizes after emulated exchange: %d, %d", ia.Size, ib.Size)
+	}
+	// No leftover temp file from the link+rename+rename dance.
+	if _, errno := sys.FS.Resolve(nil, "/a.xchg"); errno == 0 {
+		t.Fatal("emulation leaked its temp link")
+	}
+}
+
+// A Linux trace using fallocate and posix_fadvise replays on OS X via
+// fcntl equivalents, and on FreeBSD where hints are dropped (§4.3.4).
+func TestHintEmulationTargets(t *testing.T) {
+	tr, snap := traceWorkload(t, defaultConf(),
+		func(sys *stack.System) error { return sys.SetupCreate("/f", 1<<20) },
+		func(sys *stack.System, th *sim.Thread) {
+			fd, _ := sys.Open(th, "/f", trace.ORdwr, 0)
+			sys.Fallocate(th, fd, 0, 2<<20)
+			sys.Fadvise(th, fd, 0, 1<<20, "POSIX_FADV_WILLNEED")
+			sys.Fadvise(th, fd, 0, 1<<20, "POSIX_FADV_SEQUENTIAL")
+			sys.Close(th, fd)
+		})
+	b, err := Compile(tr, snap, DefaultModesForTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, platform := range []stack.Platform{stack.OSX, stack.FreeBSD} {
+		conf := stack.Config{
+			Name: string(platform), Platform: platform, Profile: stack.HFSPlus,
+			Device: stack.DeviceHDD, Scheduler: stack.SchedNoop,
+		}
+		k := sim.NewKernel()
+		sys := stack.New(k, conf)
+		if err := Init(sys, b, ""); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Replay(sys, b, Options{SelfCheck: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Errors != 0 {
+			t.Errorf("%s: errors: %v", platform, rep.ErrorSamples)
+		}
+		// OS X lacks both fallocate and posix_fadvise (3 emulations);
+		// FreeBSD has posix_fadvise natively, so only fallocate is
+		// emulated there.
+		want := 3
+		if platform == stack.FreeBSD {
+			want = 1
+		}
+		if rep.Emulated < want {
+			t.Errorf("%s: emulated %d, want >= %d", platform, rep.Emulated, want)
+		}
+	}
+}

@@ -1,0 +1,486 @@
+package artc
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"rootreplay/internal/core"
+	"rootreplay/internal/sim"
+	"rootreplay/internal/snapshot"
+	"rootreplay/internal/stack"
+	"rootreplay/internal/trace"
+	"rootreplay/internal/vfs"
+)
+
+// Method selects a replay ordering strategy (§5's four competitors).
+type Method string
+
+// Replay methods.
+const (
+	MethodARTC          Method = "artc"
+	MethodSingle        Method = "single"
+	MethodTemporal      Method = "temporal"
+	MethodUnconstrained Method = "unconstrained"
+)
+
+// Speed selects how traced inter-call gaps (predelay) are reproduced.
+type Speed int
+
+// Speeds.
+const (
+	// AFAP ignores predelay: as fast as possible.
+	AFAP Speed = iota
+	// Natural sleeps each action's traced predelay before issuing it.
+	Natural
+	// Scaled sleeps a multiple of the traced predelay.
+	Scaled
+)
+
+// Options configure a replay.
+type Options struct {
+	Method Method
+	Speed  Speed
+	// Scale multiplies predelay when Speed == Scaled.
+	Scale float64
+	// Prefix places the replayed tree under a directory (initialization
+	// must have used the same prefix).
+	Prefix string
+	// FullFsyncOnOSX chooses strict durability when emulating a Linux
+	// trace's fsync on an OS X target: F_FULLFSYNC instead of plain
+	// fsync (§4.3.4).
+	FullFsyncOnOSX bool
+	// MaxErrorSamples bounds the retained mismatch descriptions.
+	MaxErrorSamples int
+	// SelfCheck re-validates the executed order against the dependency
+	// graph after replay (a replayer assertion, cheap and on by default
+	// in tests).
+	SelfCheck bool
+	// Modes, when non-nil, overrides the benchmark's compiled mode set
+	// for this replay: the dependency graph is rebuilt from the existing
+	// analysis, so individual ordering constraints can be toggled
+	// without recompiling (§4.1 "Flexibility"). Only meaningful with
+	// MethodARTC.
+	Modes *core.ModeSet
+}
+
+// Report is the replayer's detailed output (§4.3.3): wall-clock time,
+// semantic-accuracy counts, per-call and per-thread timing, and the
+// concurrency achieved.
+type Report struct {
+	Method  Method
+	Actions int
+	// Elapsed is the virtual wall-clock duration of the replay.
+	Elapsed time.Duration
+	// Errors counts semantic mismatches: calls whose success/failure or
+	// errno differed from the trace.
+	Errors int
+	// ErrorSamples holds the first few mismatch descriptions.
+	ErrorSamples []string
+	// Emulated counts calls replayed through the cross-platform
+	// emulation layer.
+	Emulated int
+	// IssueAt and DoneAt record each action's issue and completion
+	// times, relative to replay start.
+	IssueAt, DoneAt []time.Duration
+	// CallTime and CallCount aggregate replay in-call time by call name.
+	CallTime  map[string]time.Duration
+	CallCount map[string]int64
+	// ThreadTime is total in-call time across replay threads; dividing
+	// by Elapsed gives the mean number of outstanding calls, the
+	// concurrency measure of Figure 9.
+	ThreadTime time.Duration
+	// PerThread is each traced thread's total in-call time.
+	PerThread map[int]time.Duration
+	// Graph summarizes the dependency structure replay enforced.
+	Graph core.GraphStats
+}
+
+// Concurrency returns the mean number of outstanding system calls
+// during the replay.
+func (r *Report) Concurrency() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.ThreadTime) / float64(r.Elapsed)
+}
+
+// Init restores the benchmark's initial snapshot into sys under prefix.
+func Init(sys *stack.System, b *Benchmark, prefix string) error {
+	return snapshot.Restore(sys, prefix, b.Snapshot)
+}
+
+// DeltaInit restores the snapshot with minimal work after a prior
+// replay.
+func DeltaInit(sys *stack.System, b *Benchmark, prefix string) (snapshot.DeltaStats, error) {
+	return snapshot.DeltaRestore(sys, prefix, b.Snapshot)
+}
+
+// replayState is the shared bookkeeping the replay threads use.
+type replayState struct {
+	sys  *stack.System
+	b    *Benchmark
+	opts Options
+	g    *core.Graph
+
+	issued, done []bool
+	issueAt      []time.Duration
+	doneAt       []time.Duration
+	conds        []*sim.Cond
+	fdMap        map[core.ResourceID]int64
+	aioMap       map[core.ResourceID]int64
+	predelay     []time.Duration
+	start        time.Duration
+
+	rep *Report
+}
+
+// Replay executes the benchmark on sys (which must already be
+// initialized via Init) and runs the simulation to completion.
+func Replay(sys *stack.System, b *Benchmark, opts Options) (*Report, error) {
+	rs, err := start(sys, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.K.Run(); err != nil {
+		return nil, fmt.Errorf("artc: replay stalled: %w", err)
+	}
+	return rs.finish()
+}
+
+// ConcurrentItem pairs a benchmark with its replay options for
+// ReplayConcurrent.
+type ConcurrentItem struct {
+	B    *Benchmark
+	Opts Options
+}
+
+// ReplayConcurrent replays several benchmarks simultaneously on one
+// system — the §4.3.2 scenario of browsing photos in iPhoto while
+// listening to music in iTunes. Each benchmark's snapshot must have been
+// restored first (overlay init: call Init once per benchmark, with
+// distinct prefixes if their trees collide). Reports are returned in
+// argument order.
+func ReplayConcurrent(sys *stack.System, items []ConcurrentItem) ([]*Report, error) {
+	states := make([]*replayState, len(items))
+	for i, it := range items {
+		rs, err := start(sys, it.B, it.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("artc: benchmark %d: %w", i, err)
+		}
+		states[i] = rs
+	}
+	if err := sys.K.Run(); err != nil {
+		return nil, fmt.Errorf("artc: concurrent replay stalled: %w", err)
+	}
+	reports := make([]*Report, len(states))
+	for i, rs := range states {
+		rep, err := rs.finish()
+		if err != nil {
+			return nil, fmt.Errorf("artc: benchmark %d: %w", i, err)
+		}
+		reports[i] = rep
+	}
+	return reports, nil
+}
+
+// start validates options, builds the method's graph, and spawns the
+// replay threads; the caller runs the kernel and then calls finish.
+func start(sys *stack.System, b *Benchmark, opts Options) (*replayState, error) {
+	if opts.MaxErrorSamples == 0 {
+		opts.MaxErrorSamples = 10
+	}
+	n := len(b.Trace.Records)
+	var g *core.Graph
+	switch opts.Method {
+	case MethodARTC, "":
+		opts.Method = MethodARTC
+		g = b.Graph
+		if opts.Modes != nil {
+			g = core.BuildGraph(b.Analysis, *opts.Modes)
+		}
+	case MethodTemporal:
+		g = core.TemporalGraph(b.Analysis)
+	case MethodSingle, MethodUnconstrained:
+		g = core.UnconstrainedGraph(b.Analysis)
+	default:
+		return nil, fmt.Errorf("artc: unknown replay method %q", opts.Method)
+	}
+	rs := &replayState{
+		sys:      sys,
+		b:        b,
+		opts:     opts,
+		g:        g,
+		issued:   make([]bool, n),
+		done:     make([]bool, n),
+		issueAt:  make([]time.Duration, n),
+		doneAt:   make([]time.Duration, n),
+		conds:    make([]*sim.Cond, n),
+		fdMap:    make(map[core.ResourceID]int64),
+		aioMap:   make(map[core.ResourceID]int64),
+		predelay: computePredelay(b.Trace),
+		start:    sys.K.Now(),
+		rep: &Report{
+			Method:    opts.Method,
+			Actions:   n,
+			IssueAt:   make([]time.Duration, n),
+			DoneAt:    make([]time.Duration, n),
+			CallTime:  make(map[string]time.Duration),
+			CallCount: make(map[string]int64),
+			PerThread: make(map[int]time.Duration),
+		},
+	}
+
+	if opts.Method == MethodSingle {
+		sys.K.Spawn("replay-single", func(t *sim.Thread) {
+			for i := 0; i < n; i++ {
+				rs.playAction(t, i)
+			}
+		})
+	} else {
+		byThread := make(map[int][]int)
+		var order []int
+		for i, rec := range b.Trace.Records {
+			if _, ok := byThread[rec.TID]; !ok {
+				order = append(order, rec.TID)
+			}
+			byThread[rec.TID] = append(byThread[rec.TID], i)
+		}
+		sort.Ints(order)
+		for _, tid := range order {
+			actions := byThread[tid]
+			sys.K.Spawn(fmt.Sprintf("replay-T%d", tid), func(t *sim.Thread) {
+				for _, idx := range actions {
+					rs.playAction(t, idx)
+				}
+			})
+		}
+	}
+	return rs, nil
+}
+
+// finish assembles the report after the simulation has run.
+func (rs *replayState) finish() (*Report, error) {
+	rs.finishReport()
+	if rs.opts.SelfCheck {
+		if err := rs.g.ValidateOrder(rs.issueAt, rs.doneAt); err != nil {
+			return nil, fmt.Errorf("artc: self-check failed: %w", err)
+		}
+	}
+	return rs.rep, nil
+}
+
+// computePredelay returns, per action, the traced gap between the
+// action's start and the completion of the previous action on the same
+// thread (§4.3.3).
+func computePredelay(tr *trace.Trace) []time.Duration {
+	out := make([]time.Duration, len(tr.Records))
+	lastEnd := make(map[int]time.Duration)
+	for i, rec := range tr.Records {
+		prev, seen := lastEnd[rec.TID]
+		if !seen {
+			prev = 0
+		}
+		d := rec.Start - prev
+		if d < 0 {
+			d = 0
+		}
+		out[i] = d
+		lastEnd[rec.TID] = rec.End
+	}
+	return out
+}
+
+func (rs *replayState) condOf(i int) *sim.Cond {
+	if rs.conds[i] == nil {
+		rs.conds[i] = sim.NewCond(rs.sys.K)
+	}
+	return rs.conds[i]
+}
+
+// playAction waits for the action's dependencies, applies predelay, and
+// executes it, broadcasting issue and completion.
+func (rs *replayState) playAction(t *sim.Thread, idx int) {
+	for _, ei := range rs.g.Deps[idx] {
+		e := rs.g.Edges[ei]
+		for {
+			satisfied := rs.done[e.From]
+			if e.Kind == core.WaitIssue {
+				satisfied = rs.issued[e.From]
+			}
+			if satisfied {
+				break
+			}
+			rs.condOf(e.From).Wait(t, fmt.Sprintf("dep on action %d (%s)", e.From, e.Res))
+		}
+	}
+	switch rs.opts.Speed {
+	case Natural:
+		t.Sleep(rs.predelay[idx])
+	case Scaled:
+		t.Sleep(time.Duration(float64(rs.predelay[idx]) * rs.opts.Scale))
+	}
+	now := rs.sys.K.Now()
+	rs.issued[idx] = true
+	rs.issueAt[idx] = now - rs.start
+	rs.condOf(idx).Broadcast()
+
+	ret, errno, emulated := rs.execute(t, idx)
+
+	end := rs.sys.K.Now()
+	rs.done[idx] = true
+	rs.doneAt[idx] = end - rs.start
+	rs.condOf(idx).Broadcast()
+
+	rec := rs.b.Trace.Records[idx]
+	d := end - now
+	rs.rep.CallTime[rec.Call] += d
+	rs.rep.CallCount[rec.Call]++
+	rs.rep.ThreadTime += d
+	rs.rep.PerThread[rec.TID] += d
+	if emulated {
+		rs.rep.Emulated++
+	}
+	rs.compare(idx, rec, ret, errno)
+}
+
+// compare records a semantic mismatch between the traced and replayed
+// outcome of an action.
+func (rs *replayState) compare(idx int, rec *trace.Record, ret int64, errno vfs.Errno) {
+	tracedOK := rec.OK()
+	replayOK := errno == vfs.OK
+	mismatch := ""
+	switch {
+	case tracedOK && !replayOK:
+		mismatch = fmt.Sprintf("traced success, replay failed with %v", errno)
+	case !tracedOK && replayOK:
+		mismatch = fmt.Sprintf("traced %s, replay succeeded", rec.Err)
+	case !tracedOK && !replayOK && errno.String() != rec.Err:
+		mismatch = fmt.Sprintf("traced %s, replay %v", rec.Err, errno)
+	}
+	if mismatch == "" {
+		return
+	}
+	rs.rep.Errors++
+	if len(rs.rep.ErrorSamples) < rs.opts.MaxErrorSamples {
+		rs.rep.ErrorSamples = append(rs.rep.ErrorSamples,
+			fmt.Sprintf("action %d [T%d] %s(%s): %s", idx, rec.TID, rec.Call, rec.Path, mismatch))
+	}
+}
+
+// finishReport fills derived fields after the simulation ends.
+func (rs *replayState) finishReport() {
+	var last time.Duration
+	for _, d := range rs.doneAt {
+		if d > last {
+			last = d
+		}
+	}
+	rs.rep.Elapsed = last
+	copy(rs.rep.IssueAt, rs.issueAt)
+	copy(rs.rep.DoneAt, rs.doneAt)
+	rs.rep.Graph = rs.g.Stats(rs.b.Analysis)
+}
+
+// findFDTouch locates the fd resource an action references with the
+// given number and role class.
+func findFDTouch(act *core.Action, num int64, create bool) (core.ResourceID, bool) {
+	name := strconv.FormatInt(num, 10)
+	for _, tc := range act.Touches {
+		if tc.Res.Kind != core.KFD || tc.Res.Name != name {
+			continue
+		}
+		if create == (tc.Role == core.RoleCreate) {
+			return tc.Res, true
+		}
+	}
+	return core.ResourceID{}, false
+}
+
+func findAIOTouch(act *core.Action, create bool) (core.ResourceID, bool) {
+	for _, tc := range act.Touches {
+		if tc.Res.Kind != core.KAIO {
+			continue
+		}
+		if create == (tc.Role == core.RoleCreate) {
+			return tc.Res, true
+		}
+	}
+	return core.ResourceID{}, false
+}
+
+// execute performs the action against the target system: path
+// prefixing, descriptor and AIOCB remapping, and cross-platform
+// emulation.
+func (rs *replayState) execute(t *sim.Thread, idx int) (int64, vfs.Errno, bool) {
+	act := &rs.b.Analysis.Actions[idx]
+	rec := *act.Rec // shallow copy we may rewrite
+
+	// Canonical, prefixed paths.
+	if act.CanonPath != "" {
+		rec.Path = rs.prefixPath(act.CanonPath, rec.Call == "symlink")
+	}
+	if act.CanonPath2 != "" {
+		rec.Path2 = rs.prefixPath(act.CanonPath2, false)
+	}
+	// Descriptor remapping: traced numbers map to replay numbers through
+	// the fd resource identity (name@generation), so descriptors that
+	// shared a number in the trace can coexist during replay (§4.2).
+	if usedRes, ok := findFDTouch(act, act.Rec.FD, false); ok {
+		if actual, ok := rs.fdMap[usedRes]; ok {
+			rec.FD = actual
+		}
+	} else if act.FDHint != nil {
+		// A failed call on a then-valid descriptor: remap so it fails
+		// the same way it did during tracing.
+		if actual, ok := rs.fdMap[*act.FDHint]; ok {
+			rec.FD = actual
+		}
+	}
+	if usedAIO, ok := findAIOTouch(act, false); ok {
+		if actual, ok := rs.aioMap[usedAIO]; ok {
+			rec.AIO = actual
+		}
+	}
+
+	ret, errno, emulated := rs.applyWithEmulation(t, act, &rec)
+
+	// Register created resources.
+	if errno == vfs.OK {
+		var createdNum int64 = -1
+		switch stack.Canonical(rec.Call) {
+		case "open", "creat", "dup":
+			createdNum = act.Rec.Ret
+		case "dup2":
+			createdNum = act.Rec.FD2
+		case "fcntl":
+			if rec.Name == "F_DUPFD" {
+				createdNum = act.Rec.Ret
+			}
+		}
+		if createdNum >= 0 {
+			if createdRes, ok := findFDTouch(act, createdNum, true); ok {
+				rs.fdMap[createdRes] = ret
+			}
+		}
+		if stack.Canonical(rec.Call) == "aio_read" || stack.Canonical(rec.Call) == "aio_write" {
+			if createdRes, ok := findAIOTouch(act, true); ok {
+				rs.aioMap[createdRes] = ret
+			}
+		}
+	}
+	return ret, errno, emulated
+}
+
+// prefixPath joins the replay prefix with a canonical absolute path.
+// Symlink targets are prefixed only when absolute.
+func (rs *replayState) prefixPath(p string, symlinkTarget bool) string {
+	if rs.opts.Prefix == "" {
+		return p
+	}
+	if symlinkTarget && len(p) > 0 && p[0] != '/' {
+		return p
+	}
+	return rs.opts.Prefix + p
+}

@@ -1,0 +1,314 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rootreplay/internal/sched"
+	"rootreplay/internal/sim"
+	"rootreplay/internal/storage"
+)
+
+// env builds a kernel + HDD + noop scheduler + cache of capacity pages.
+func env(capacity int64) (*sim.Kernel, *Cache, *storage.HDD) {
+	k := sim.NewKernel()
+	dev := storage.NewHDD(k, "d", storage.DefaultHDD())
+	s := sched.NewNoop(dev)
+	c := New(k, s, capacity)
+	return k, c, dev
+}
+
+// ident returns a mapper placing file pages contiguously from base.
+func ident(base int64) Mapper {
+	return func(page int64) int64 { return base + page }
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	k, c, dev := env(1000)
+	var missTime, hitTime time.Duration
+	k.Spawn("r", func(th *sim.Thread) {
+		start := k.Now()
+		c.Read(th, 1, ident(0), 0, 1)
+		missTime = k.Now() - start
+		start = k.Now()
+		c.Read(th, 1, ident(0), 0, 1)
+		hitTime = k.Now() - start
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if missTime == 0 {
+		t.Fatal("miss took no time")
+	}
+	if hitTime != 0 {
+		t.Fatalf("hit took device time: %v", hitTime)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if dev.Stats().Reads != 1 {
+		t.Fatalf("device reads = %d", dev.Stats().Reads)
+	}
+}
+
+func TestContiguousMissesCoalesce(t *testing.T) {
+	k, c, dev := env(1000)
+	k.Spawn("r", func(th *sim.Thread) {
+		c.Read(th, 1, ident(100), 0, 32)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().Reads != 1 {
+		t.Fatalf("expected one coalesced device read, got %d", dev.Stats().Reads)
+	}
+	if dev.Stats().BlocksRead != 32 {
+		t.Fatalf("blocks read = %d", dev.Stats().BlocksRead)
+	}
+}
+
+func TestPartialHitReadsOnlyMissingRuns(t *testing.T) {
+	k, c, dev := env(1000)
+	k.Spawn("r", func(th *sim.Thread) {
+		c.Read(th, 1, ident(0), 2, 2) // pages 2,3
+		c.Read(th, 1, ident(0), 0, 6) // 0,1 miss; 2,3 hit; 4,5 miss
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 read for [2,3], then [0,1] and [4,5] as two separate runs.
+	if dev.Stats().Reads != 3 {
+		t.Fatalf("device reads = %d, want 3", dev.Stats().Reads)
+	}
+	if dev.Stats().BlocksRead != 6 {
+		t.Fatalf("blocks = %d, want 6", dev.Stats().BlocksRead)
+	}
+}
+
+func TestWriteIsAsyncUntilSync(t *testing.T) {
+	k, c, dev := env(1000)
+	var writeTime time.Duration
+	var syncPages int
+	k.Spawn("w", func(th *sim.Thread) {
+		start := k.Now()
+		c.Write(th, 1, ident(0), 0, 8)
+		writeTime = k.Now() - start
+		syncPages = c.Sync(th, 1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if writeTime != 0 {
+		t.Fatalf("buffered write took %v", writeTime)
+	}
+	if syncPages != 8 {
+		t.Fatalf("synced %d pages, want 8", syncPages)
+	}
+	if dev.Stats().Writes != 1 || dev.Stats().BlocksWrite != 8 {
+		t.Fatalf("device writes = %+v", dev.Stats())
+	}
+	// Second sync: nothing dirty.
+	k2, c2, _ := env(1000)
+	n := -1
+	k2.Spawn("w", func(th *sim.Thread) { n = c2.Sync(th, 1) })
+	if err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("sync of clean file wrote %d", n)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	k, c, _ := env(4)
+	k.Spawn("r", func(th *sim.Thread) {
+		c.Read(th, 1, ident(0), 0, 4)
+		c.Read(th, 1, ident(0), 0, 1) // touch page 0 -> MRU
+		c.Read(th, 1, ident(0), 10, 1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(1, 0) {
+		t.Fatal("recently touched page evicted")
+	}
+	if c.Contains(1, 1) {
+		t.Fatal("LRU page not evicted")
+	}
+	if c.Resident() != 4 {
+		t.Fatalf("resident = %d", c.Resident())
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	k, c, dev := env(2)
+	k.Spawn("w", func(th *sim.Thread) {
+		c.Write(th, 1, ident(0), 0, 2)
+		c.Read(th, 1, ident(0), 5, 1) // forces eviction of a dirty page
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().Writes == 0 {
+		t.Fatal("dirty eviction did not write back")
+	}
+}
+
+func TestWorkingSetLargerThanCacheKeepsMissing(t *testing.T) {
+	run := func(capacity int64) int64 {
+		k, c, _ := env(capacity)
+		k.Spawn("r", func(th *sim.Thread) {
+			// Two passes over 100 pages.
+			for pass := 0; pass < 2; pass++ {
+				for p := int64(0); p < 100; p++ {
+					c.Read(th, 1, ident(0), p, 1)
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats().Misses
+	}
+	bigCache := run(200)
+	smallCache := run(10)
+	if bigCache != 100 {
+		t.Fatalf("big cache misses = %d, want 100 (second pass all hits)", bigCache)
+	}
+	if smallCache != 200 {
+		t.Fatalf("small cache misses = %d, want 200 (LRU thrash)", smallCache)
+	}
+}
+
+func TestConcurrentReadersShareInflight(t *testing.T) {
+	k, c, dev := env(1000)
+	done := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("r", func(th *sim.Thread) {
+			c.Read(th, 7, ident(50), 0, 4)
+			done++
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	if dev.Stats().Reads != 1 {
+		t.Fatalf("device reads = %d, want 1 (shared in-flight)", dev.Stats().Reads)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	k, c, _ := env(100)
+	k.Spawn("r", func(th *sim.Thread) {
+		c.Read(th, 1, ident(0), 0, 4)
+		c.Read(th, 2, ident(100), 0, 4)
+		c.Drop(1)
+		if c.Contains(1, 0) {
+			t.Error("file 1 pages survived Drop")
+		}
+		if !c.Contains(2, 0) {
+			t.Error("file 2 pages dropped")
+		}
+		c.DropAll()
+		if c.Resident() != 0 {
+			t.Error("pages survived DropAll")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncAll(t *testing.T) {
+	k, c, _ := env(100)
+	k.Spawn("w", func(th *sim.Thread) {
+		c.Write(th, 1, ident(0), 0, 3)
+		c.Write(th, 2, ident(100), 0, 2)
+		if n := c.SyncAll(th); n != 5 {
+			t.Errorf("SyncAll wrote %d, want 5", n)
+		}
+		if n := c.SyncAll(th); n != 0 {
+			t.Errorf("second SyncAll wrote %d", n)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnboundedCapacity(t *testing.T) {
+	k, c, _ := env(0) // unbounded
+	k.Spawn("r", func(th *sim.Thread) {
+		for p := int64(0); p < 500; p++ {
+			c.Read(th, 1, ident(0), p, 1)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Resident() != 500 {
+		t.Fatalf("resident = %d", c.Resident())
+	}
+	if c.Stats().Evictions != 0 {
+		t.Fatal("unbounded cache evicted")
+	}
+}
+
+// Property: after any interleaving of reads and writes followed by
+// SyncAll, no dirty pages remain, resident count never exceeds capacity,
+// and all requests completed (kernel ran to completion).
+func TestQuickCacheInvariants(t *testing.T) {
+	f := func(ops []uint16, capacity uint8) bool {
+		capPages := int64(capacity%32) + 4
+		k, c, _ := env(capPages)
+		okRun := true
+		k.Spawn("driver", func(th *sim.Thread) {
+			for _, op := range ops {
+				file := FileID(op % 3)
+				pg := int64((op >> 2) % 64)
+				m := ident(int64(file) * 1000)
+				if op%2 == 0 {
+					c.Read(th, file, m, pg, int64(op%4)+1)
+				} else {
+					c.Write(th, file, m, pg, int64(op%4)+1)
+				}
+				if c.Resident() > capPages {
+					okRun = false
+				}
+			}
+			c.SyncAll(th)
+			if c.SyncAll(th) != 0 {
+				okRun = false
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return okRun && c.Resident() <= capPages
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	k, c, _ := env(100)
+	k.Spawn("r", func(th *sim.Thread) {
+		c.Read(th, 1, ident(0), 0, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Read(th, 1, ident(0), 0, 1)
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

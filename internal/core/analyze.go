@@ -1,0 +1,530 @@
+package core
+
+import (
+	"fmt"
+	gopath "path"
+	"strconv"
+
+	"rootreplay/internal/stack"
+	"rootreplay/internal/trace"
+	"rootreplay/internal/vfs"
+)
+
+// Action is one trace record annotated with the resources it touches.
+type Action struct {
+	Rec     *trace.Record
+	Touches []Touch
+	// CanonPath and CanonPath2 are the record's path arguments resolved
+	// to canonical absolute form against the working directory in effect
+	// when the action ran; replay uses them so chdir history need not be
+	// re-enacted. For symlink, CanonPath is left as traced (the target
+	// string is data, not a lookup).
+	CanonPath  string
+	CanonPath2 string
+	// FDHint identifies the descriptor resource a *failed* call
+	// referenced, when the descriptor was valid at the time. Failed
+	// calls carry no ordering constraints, but the replayer still needs
+	// the fd remapped so the call fails the same way it did in the trace
+	// (EISDIR on a directory read, say, rather than EBADF).
+	FDHint *ResourceID
+}
+
+// Analysis is the result of running the trace model over a trace: every
+// action's resource touch set, plus each resource's action series.
+type Analysis struct {
+	Trace   *trace.Trace
+	Actions []Action
+	// Series maps each resource to the indices (= Seq values) of the
+	// actions touching it, in trace order.
+	Series map[ResourceID][]int
+	// PathGens maps a path name to its successive generations in
+	// creation order, for the name-ordering rule.
+	PathGens map[string][]int
+	// Warnings records records the file-system model could not fully
+	// interpret (the equivalent of ARTC's missed-dependency edge cases);
+	// such actions fall back to thread-only ordering.
+	Warnings []string
+}
+
+// analyzer walks the trace against a symbolic vfs, assigning resource
+// identities and generations.
+type analyzer struct {
+	fs  *vfs.FS
+	cwd *vfs.Inode
+	// cwdPath is the textual cwd used to canonicalize relative paths.
+	cwdPath string
+
+	// pathGen is the current generation of each canonical path name.
+	// Generations advance whenever the name's binding changes (created,
+	// deleted, retargeted by rename or exchangedata).
+	pathGen map[string]int
+	// fdGen is the current generation of each descriptor number.
+	fdGen map[int64]int
+	// fdFile maps open descriptor numbers to their file inodes.
+	fdFile map[int64]*vfs.Inode
+	// fdPath remembers the canonical path a descriptor was opened with,
+	// for diagnostics.
+	fdPath map[int64]string
+
+	res *Analysis
+}
+
+// Analyze runs the trace model over tr. The fs argument must hold the
+// initial file-tree snapshot (see snapshot.RestoreTree); Analyze mutates
+// it while symbolically replaying the trace.
+func Analyze(tr *trace.Trace, fs *vfs.FS) (*Analysis, error) {
+	a := &analyzer{
+		fs:      fs,
+		cwd:     fs.Root(),
+		cwdPath: "/",
+		pathGen: make(map[string]int),
+		fdGen:   make(map[int64]int),
+		fdFile:  make(map[int64]*vfs.Inode),
+		fdPath:  make(map[int64]string),
+		res: &Analysis{
+			Trace:    tr,
+			Series:   make(map[ResourceID][]int),
+			PathGens: make(map[string][]int),
+		},
+	}
+	for i, rec := range tr.Records {
+		if rec.Seq != int64(i) {
+			return nil, fmt.Errorf("core: record %d has Seq %d; call Trace.Renumber first", i, rec.Seq)
+		}
+		act := Action{Rec: rec}
+		if rec.Path != "" {
+			if stack.Canonical(rec.Call) == "symlink" {
+				act.CanonPath = rec.Path
+			} else {
+				act.CanonPath = a.canon(rec.Path)
+			}
+		}
+		if rec.Path2 != "" {
+			act.CanonPath2 = a.canon(rec.Path2)
+		}
+		touches := a.analyzeRecord(rec)
+		act.Touches = touches
+		if !rec.OK() {
+			if _, tracked := a.fdFile[rec.FD]; tracked && rec.FD != 0 {
+				r := a.fdRes(rec.FD)
+				act.FDHint = &r
+			}
+		}
+		a.res.Actions = append(a.res.Actions, act)
+		for _, t := range touches {
+			key := t.Res
+			series := a.res.Series[key]
+			if len(series) == 0 || series[len(series)-1] != i {
+				a.res.Series[key] = append(series, i)
+			}
+		}
+	}
+	return a.res, nil
+}
+
+// canon returns the canonical absolute form of a traced path.
+func (a *analyzer) canon(p string) string {
+	if p == "" {
+		return ""
+	}
+	if p[0] != '/' {
+		p = a.cwdPath + "/" + p
+	}
+	return gopath.Clean(p)
+}
+
+// pathRes returns the path resource for the current generation of name,
+// creating generation bookkeeping on first sight.
+func (a *analyzer) pathRes(name string) ResourceID {
+	gen, ok := a.pathGen[name]
+	if !ok {
+		gen = 1
+		a.pathGen[name] = gen
+		a.res.PathGens[name] = append(a.res.PathGens[name], gen)
+	}
+	return ResourceID{Kind: KPath, Name: name, Gen: gen}
+}
+
+// bumpPath advances the generation of a path name (its binding changed)
+// and returns the new-generation resource.
+func (a *analyzer) bumpPath(name string) ResourceID {
+	gen := a.pathGen[name]
+	if gen == 0 {
+		gen = 1
+	} else {
+		gen++
+	}
+	a.pathGen[name] = gen
+	a.res.PathGens[name] = append(a.res.PathGens[name], gen)
+	return ResourceID{Kind: KPath, Name: name, Gen: gen}
+}
+
+func fileRes(ino *vfs.Inode) ResourceID {
+	return ResourceID{Kind: KFile, Name: strconv.FormatUint(uint64(ino.Ino), 10), Gen: 1}
+}
+
+func (a *analyzer) fdRes(n int64) ResourceID {
+	gen := a.fdGen[n]
+	if gen == 0 {
+		gen = 1
+		a.fdGen[n] = 1
+	}
+	return ResourceID{Kind: KFD, Name: strconv.FormatInt(n, 10), Gen: gen}
+}
+
+func (a *analyzer) bumpFD(n int64) ResourceID {
+	a.fdGen[n]++
+	return ResourceID{Kind: KFD, Name: strconv.FormatInt(n, 10), Gen: a.fdGen[n]}
+}
+
+func aioRes(id int64) ResourceID {
+	return ResourceID{Kind: KAIO, Name: strconv.FormatInt(id, 10), Gen: 1}
+}
+
+// warnf records a model-interpretation warning for a record.
+func (a *analyzer) warnf(rec *trace.Record, format string, args ...any) {
+	a.res.Warnings = append(a.res.Warnings,
+		fmt.Sprintf("action %d (%s): %s", rec.Seq, rec.Call, fmt.Sprintf(format, args...)))
+}
+
+// parentOf resolves the directory containing the final component of p,
+// or nil.
+func (a *analyzer) parentOf(p string) *vfs.Inode {
+	dir := gopath.Dir(a.canon(p))
+	ino, err := a.fs.Resolve(nil, dir)
+	if err != vfs.OK {
+		return nil
+	}
+	return ino
+}
+
+// analyzeRecord computes the record's touch set and symbolically applies
+// its effect to the file-system model. Thread resources are implicit
+// (thread_seq is enforced structurally), so they are not materialized.
+func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
+	// Failed calls carry no resource hints beyond their thread: replay
+	// may legally reorder them (a stat that failed during tracing might
+	// validly run earlier or later during replay; §4.2 "Paths").
+	if !rec.OK() {
+		return nil
+	}
+	var ts []Touch
+	use := func(r ResourceID) { ts = append(ts, Touch{r, RoleUse}) }
+	create := func(r ResourceID) { ts = append(ts, Touch{r, RoleCreate}) }
+	del := func(r ResourceID) { ts = append(ts, Touch{r, RoleDelete}) }
+	useParent := func(p string) {
+		if dir := a.parentOf(p); dir != nil {
+			use(fileRes(dir))
+		}
+	}
+	// resolveFile resolves a path to its file, warning on failure.
+	resolveFile := func(p string, follow bool) *vfs.Inode {
+		var ino *vfs.Inode
+		var err vfs.Errno
+		if follow {
+			ino, err = a.fs.Resolve(nil, a.canon(p))
+		} else {
+			ino, err = a.fs.ResolveNoFollow(nil, a.canon(p))
+		}
+		if err != vfs.OK {
+			a.warnf(rec, "cannot resolve %q: %v", p, err)
+			return nil
+		}
+		return ino
+	}
+	// statLike: Use path + parent dir + target file.
+	statLike := func(p string, follow bool) *vfs.Inode {
+		cp := a.canon(p)
+		use(a.pathRes(cp))
+		useParent(cp)
+		ino := resolveFile(p, follow)
+		if ino != nil {
+			use(fileRes(ino))
+		}
+		return ino
+	}
+
+	switch stack.Canonical(rec.Call) {
+	case "open", "creat":
+		cp := a.canon(rec.Path)
+		flags := rec.Flags
+		if stack.Canonical(rec.Call) == "creat" {
+			flags = trace.OWronly | trace.OCreat | trace.OTrunc
+		}
+		existing, _ := a.fs.Resolve(nil, cp)
+		createsFile := flags&trace.OCreat != 0 && existing == nil
+		useParent(cp)
+		var ino *vfs.Inode
+		if createsFile {
+			var err vfs.Errno
+			ino, _, err = a.fs.Create(nil, cp, rec.Mode, false)
+			if err != vfs.OK {
+				a.warnf(rec, "create %q failed in model: %v", cp, err)
+				return ts
+			}
+			create(a.bumpPath(cp))
+			create(fileRes(ino))
+		} else {
+			ino = existing
+			if ino == nil {
+				a.warnf(rec, "open of missing %q succeeded in trace", cp)
+				// The paper saw this in the iTunes traces (O_EXCL opens
+				// of existing paths suggest collection glitches); treat
+				// the path as freshly bound.
+				var err vfs.Errno
+				ino, _, err = a.fs.Create(nil, cp, rec.Mode, false)
+				if err != vfs.OK {
+					return ts
+				}
+				create(a.bumpPath(cp))
+				create(fileRes(ino))
+			} else {
+				use(a.pathRes(cp))
+				use(fileRes(ino))
+			}
+		}
+		if flags&trace.OTrunc != 0 && ino.Type == vfs.TypeRegular {
+			a.fs.TruncateInode(ino, 0)
+		}
+		fd := rec.Ret
+		create(a.bumpFD(fd))
+		a.fdFile[fd] = ino
+		a.fdPath[fd] = cp
+	case "close":
+		use2 := a.fdRes(rec.FD)
+		ts = append(ts, Touch{use2, RoleDelete})
+		if ino := a.fdFile[rec.FD]; ino != nil {
+			use(fileRes(ino))
+		}
+		delete(a.fdFile, rec.FD)
+		delete(a.fdPath, rec.FD)
+	case "read", "write", "pread", "pwrite", "lseek", "fsync", "fdatasync",
+		"ftruncate", "fstat", "fstatfs", "fadvise", "fallocate", "mmap",
+		"fchmod", "chown_fd", "utimes_fd", "getdents", "getdirentriesattr",
+		"fgetxattr", "fsetxattr", "flistxattr", "fremovexattr":
+		use(a.fdRes(rec.FD))
+		if ino := a.fdFile[rec.FD]; ino != nil {
+			use(fileRes(ino))
+		} else {
+			a.warnf(rec, "fd %d not tracked", rec.FD)
+		}
+		if rec.Call == "ftruncate" {
+			if ino := a.fdFile[rec.FD]; ino != nil {
+				a.fs.TruncateInode(ino, rec.Size)
+			}
+		}
+	case "fcntl":
+		use(a.fdRes(rec.FD))
+		if ino := a.fdFile[rec.FD]; ino != nil {
+			use(fileRes(ino))
+		}
+		if rec.Name == "F_DUPFD" && rec.Ret >= 0 {
+			create(a.bumpFD(rec.Ret))
+			a.fdFile[rec.Ret] = a.fdFile[rec.FD]
+			a.fdPath[rec.Ret] = a.fdPath[rec.FD]
+		}
+	case "dup":
+		use(a.fdRes(rec.FD))
+		if ino := a.fdFile[rec.FD]; ino != nil {
+			use(fileRes(ino))
+		}
+		create(a.bumpFD(rec.Ret))
+		a.fdFile[rec.Ret] = a.fdFile[rec.FD]
+		a.fdPath[rec.Ret] = a.fdPath[rec.FD]
+	case "dup2":
+		use(a.fdRes(rec.FD))
+		if ino := a.fdFile[rec.FD]; ino != nil {
+			use(fileRes(ino))
+		}
+		if rec.FD != rec.FD2 {
+			if _, open := a.fdFile[rec.FD2]; open {
+				del(a.fdRes(rec.FD2))
+			}
+			create(a.bumpFD(rec.FD2))
+			a.fdFile[rec.FD2] = a.fdFile[rec.FD]
+			a.fdPath[rec.FD2] = a.fdPath[rec.FD]
+		}
+	case "stat", "access", "statfs", "chmod", "chown", "utimes",
+		"getattrlist", "setattrlist", "fsctl", "searchfs", "vfsconf",
+		"getxattr", "setxattr", "listxattr", "removexattr", "truncate":
+		ino := statLike(rec.Path, true)
+		if rec.Call == "truncate" && ino != nil {
+			a.fs.TruncateInode(ino, rec.Size)
+		}
+	case "lstat", "readlink", "lgetxattr", "lsetxattr", "llistxattr", "lremovexattr":
+		statLike(rec.Path, false)
+	case "mkdir":
+		cp := a.canon(rec.Path)
+		useParent(cp)
+		ino, err := a.fs.MkdirAll(nil, cp, rec.Mode)
+		if err != vfs.OK {
+			a.warnf(rec, "mkdir %q failed in model: %v", cp, err)
+			return ts
+		}
+		create(a.bumpPath(cp))
+		create(fileRes(ino))
+	case "rmdir":
+		cp := a.canon(rec.Path)
+		useParent(cp)
+		ino := resolveFile(rec.Path, false)
+		if ino != nil {
+			del(fileRes(ino))
+		}
+		del(a.pathRes(cp))
+		if err := a.fs.Rmdir(nil, cp); err != vfs.OK {
+			a.warnf(rec, "rmdir %q failed in model: %v", cp, err)
+		}
+	case "unlink":
+		cp := a.canon(rec.Path)
+		useParent(cp)
+		ino := resolveFile(rec.Path, false)
+		del(a.pathRes(cp))
+		if ino != nil {
+			if ino.Nlink <= 1 {
+				del(fileRes(ino))
+			} else {
+				use(fileRes(ino))
+			}
+		}
+		if err := a.fs.Unlink(nil, cp); err != vfs.OK {
+			a.warnf(rec, "unlink %q failed in model: %v", cp, err)
+		}
+	case "rename":
+		a.analyzeRename(rec, &ts)
+	case "link":
+		oldP, newP := a.canon(rec.Path), a.canon(rec.Path2)
+		use(a.pathRes(oldP))
+		useParent(oldP)
+		useParent(newP)
+		ino := resolveFile(rec.Path, false)
+		if ino != nil {
+			use(fileRes(ino))
+		}
+		create(a.bumpPath(newP))
+		if err := a.fs.Link(nil, oldP, newP); err != vfs.OK {
+			a.warnf(rec, "link failed in model: %v", err)
+		}
+	case "symlink":
+		linkP := a.canon(rec.Path2)
+		useParent(linkP)
+		ino, err := a.fs.Symlink(nil, rec.Path, linkP)
+		if err != vfs.OK {
+			a.warnf(rec, "symlink failed in model: %v", err)
+			return ts
+		}
+		create(a.bumpPath(linkP))
+		create(fileRes(ino))
+	case "exchangedata":
+		pa, pb := a.canon(rec.Path), a.canon(rec.Path2)
+		useParent(pa)
+		useParent(pb)
+		inoA := resolveFile(rec.Path, true)
+		inoB := resolveFile(rec.Path2, true)
+		if inoA != nil {
+			use(fileRes(inoA))
+		}
+		if inoB != nil {
+			use(fileRes(inoB))
+		}
+		// Both names change binding: old generations die, new ones begin
+		// within the same action.
+		del(a.pathRes(pa))
+		del(a.pathRes(pb))
+		create(a.bumpPath(pa))
+		create(a.bumpPath(pb))
+		if err := a.fs.Exchange(nil, pa, pb); err != vfs.OK {
+			a.warnf(rec, "exchangedata failed in model: %v", err)
+		}
+	case "chdir":
+		ino := statLike(rec.Path, true)
+		if ino != nil && ino.IsDir() {
+			a.cwd = ino
+			a.cwdPath = a.canon(rec.Path)
+		}
+	case "fchdir":
+		use(a.fdRes(rec.FD))
+		if ino := a.fdFile[rec.FD]; ino != nil && ino.IsDir() {
+			use(fileRes(ino))
+			a.cwd = ino
+			if p, ok := a.fdPath[rec.FD]; ok {
+				a.cwdPath = p
+			}
+		}
+	case "aio_read", "aio_write":
+		use(a.fdRes(rec.FD))
+		if ino := a.fdFile[rec.FD]; ino != nil {
+			use(fileRes(ino))
+		}
+		create(aioRes(rec.AIO))
+	case "aio_error", "aio_suspend":
+		use(aioRes(rec.AIO))
+	case "aio_return":
+		del(aioRes(rec.AIO))
+	case "sync", "munmap", "msync":
+		// No specific resources beyond the issuing thread.
+	default:
+		a.warnf(rec, "call not in trace model")
+	}
+	return ts
+}
+
+// analyzeRename handles the hardest case in the model: a rename touches
+// the parents, the moved file, and — when a directory moves — every
+// path and file in its subtree (Figure 2's rename touches "four paths").
+func (a *analyzer) analyzeRename(rec *trace.Record, ts *[]Touch) {
+	use := func(r ResourceID) { *ts = append(*ts, Touch{r, RoleUse}) }
+	create := func(r ResourceID) { *ts = append(*ts, Touch{r, RoleCreate}) }
+	del := func(r ResourceID) { *ts = append(*ts, Touch{r, RoleDelete}) }
+	oldP, newP := a.canon(rec.Path), a.canon(rec.Path2)
+	if dir := a.parentOf(oldP); dir != nil {
+		use(fileRes(dir))
+	}
+	if dir := a.parentOf(newP); dir != nil {
+		use(fileRes(dir))
+	}
+	src, err := a.fs.ResolveNoFollow(nil, oldP)
+	if err != vfs.OK {
+		a.warnf(rec, "rename source %q unresolvable: %v", oldP, err)
+		return
+	}
+	use(fileRes(src))
+	// Replaced destination, if any.
+	if dst, derr := a.fs.ResolveNoFollow(nil, newP); derr == vfs.OK {
+		if dst.Nlink <= 1 {
+			del(fileRes(dst))
+		} else {
+			use(fileRes(dst))
+		}
+	}
+	// Collect the subtree's relative paths before mutating the model.
+	type sub struct {
+		rel string
+		ino *vfs.Inode
+	}
+	var subtree []sub
+	if src.IsDir() {
+		var walk func(dir *vfs.Inode, rel string)
+		walk = func(dir *vfs.Inode, rel string) {
+			for _, name := range dir.Children() {
+				child := dir.Lookup(name)
+				r := rel + "/" + name
+				subtree = append(subtree, sub{r, child})
+				if child.IsDir() {
+					walk(child, r)
+				}
+			}
+		}
+		walk(src, "")
+	}
+	// Old names die; new names are born, bound to the same files.
+	del(a.pathRes(oldP))
+	create(a.bumpPath(newP))
+	for _, s := range subtree {
+		use(fileRes(s.ino))
+		del(a.pathRes(oldP + s.rel))
+		create(a.bumpPath(newP + s.rel))
+	}
+	if err := a.fs.Rename(nil, oldP, newP); err != vfs.OK {
+		a.warnf(rec, "rename failed in model: %v", err)
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// EdgeKind distinguishes the two replay-dependency semantics.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	// WaitComplete: the dependent action may not be issued until the
+	// dependency has completed (returned). ARTC's resource edges.
+	WaitComplete EdgeKind = iota
+	// WaitIssue: the dependent action may not be issued until the
+	// dependency has been issued. Temporal ordering uses these to
+	// preserve trace issue order while permitting traced overlap.
+	WaitIssue
+)
+
+// Edge is a replay-order dependency between two actions, identified by
+// their Seq indices.
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+	// Res is the resource that induced the edge (zero for temporal and
+	// program edges); retained for reporting and Figure 8.
+	Res ResourceID
+}
+
+// Graph is the partial order a replayer enforces.
+type Graph struct {
+	N     int
+	Edges []Edge
+	// Deps[i] lists the indices of edges whose To == i.
+	Deps [][]int
+}
+
+// newGraph builds the index from an edge list.
+func newGraph(n int, edges []Edge) *Graph {
+	g := &Graph{N: n, Edges: edges, Deps: make([][]int, n)}
+	for ei, e := range edges {
+		g.Deps[e.To] = append(g.Deps[e.To], ei)
+	}
+	return g
+}
+
+// BuildGraph derives the replay dependency graph from an analysis under
+// the given mode set. Edges within a single thread are omitted: thread
+// sequential ordering is enforced structurally by replaying each traced
+// thread on its own replay thread, which subsumes them.
+func BuildGraph(an *Analysis, modes ModeSet) *Graph {
+	n := len(an.Actions)
+	tid := func(i int) int { return an.Actions[i].Rec.TID }
+	seen := make(map[[2]int]bool)
+	var edges []Edge
+	add := func(from, to int, kind EdgeKind, res ResourceID) {
+		if from == to || from > to {
+			return
+		}
+		if tid(from) == tid(to) {
+			return
+		}
+		key := [2]int{from, to}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		edges = append(edges, Edge{From: from, To: to, Kind: kind, Res: res})
+	}
+
+	if modes.ProgramSeq {
+		for i := 1; i < n; i++ {
+			add(i-1, i, WaitComplete, ResourceID{Kind: KProgram, Name: "program", Gen: 1})
+		}
+		// program_seq subsumes every other rule; no further edges needed.
+		return newGraph(n, edges)
+	}
+
+	// Deterministic resource iteration order.
+	resources := make([]ResourceID, 0, len(an.Series))
+	for r := range an.Series {
+		resources = append(resources, r)
+	}
+	sort.Slice(resources, func(i, j int) bool {
+		a, b := resources[i], resources[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Gen < b.Gen
+	})
+
+	roleOf := func(actIdx int, r ResourceID) Role {
+		for _, t := range an.Actions[actIdx].Touches {
+			if t.Res == r {
+				return t.Role
+			}
+		}
+		return RoleUse
+	}
+
+	for _, r := range resources {
+		series := an.Series[r]
+		if len(series) < 2 {
+			continue
+		}
+		seq := false
+		stage := false
+		switch r.Kind {
+		case KFile:
+			seq = modes.FileSeq
+		case KPath:
+			stage = modes.PathStageName
+		case KFD:
+			seq = modes.FDSeq
+			stage = modes.FDStage
+		case KAIO:
+			stage = modes.AIOStage
+		}
+		if seq {
+			for i := 1; i < len(series); i++ {
+				add(series[i-1], series[i], WaitComplete, r)
+			}
+			// Sequential subsumes stage for the same resource.
+			continue
+		}
+		if stage {
+			first, last := series[0], series[len(series)-1]
+			if roleOf(first, r) == RoleCreate {
+				for _, i := range series[1:] {
+					add(first, i, WaitComplete, r)
+				}
+			}
+			if roleOf(last, r) == RoleDelete {
+				for _, i := range series[:len(series)-1] {
+					add(i, last, WaitComplete, r)
+				}
+			}
+		}
+	}
+
+	// Name ordering: for each path name with multiple generations, the
+	// last action of one generation precedes the first action of the
+	// next.
+	if modes.PathStageName {
+		for name, gens := range an.PathGens {
+			for gi := 1; gi < len(gens); gi++ {
+				prev := an.Series[ResourceID{Kind: KPath, Name: name, Gen: gens[gi-1]}]
+				next := an.Series[ResourceID{Kind: KPath, Name: name, Gen: gens[gi]}]
+				if len(prev) == 0 || len(next) == 0 {
+					continue
+				}
+				add(prev[len(prev)-1], next[0], WaitComplete,
+					ResourceID{Kind: KPath, Name: name, Gen: gens[gi]})
+			}
+		}
+	}
+	return newGraph(n, edges)
+}
+
+// TemporalGraph builds the baseline temporally-ordered replay graph:
+// every action waits for the previous action in trace order to have been
+// issued (not completed), so traced overlap is preserved but no
+// reordering can occur (§5's "temporally-ordered replay").
+func TemporalGraph(an *Analysis) *Graph {
+	n := len(an.Actions)
+	var edges []Edge
+	for i := 1; i < n; i++ {
+		if an.Actions[i-1].Rec.TID == an.Actions[i].Rec.TID {
+			continue // implied by per-thread replay order
+		}
+		edges = append(edges, Edge{From: i - 1, To: i, Kind: WaitIssue})
+	}
+	return newGraph(n, edges)
+}
+
+// UnconstrainedGraph builds the no-synchronization baseline: no edges at
+// all beyond implicit thread ordering.
+func UnconstrainedGraph(an *Analysis) *Graph {
+	return newGraph(len(an.Actions), nil)
+}
+
+// CheckAcyclic verifies the graph plus implicit same-thread ordering has
+// no cycles; by construction all edges go forward in trace order, so a
+// violation indicates an analyzer bug.
+func (g *Graph) CheckAcyclic() error {
+	for _, e := range g.Edges {
+		if e.From >= e.To {
+			return fmt.Errorf("core: edge %d -> %d does not follow trace order", e.From, e.To)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a graph for reporting (Figure 8): cross-thread edge
+// count and the mean "length" of an edge measured as trace time between
+// the two actions' issue points.
+type GraphStats struct {
+	Edges      int
+	MeanLength time.Duration
+	MaxLength  time.Duration
+}
+
+// Stats computes edge statistics against the analysis the graph was
+// built from.
+func (g *Graph) Stats(an *Analysis) GraphStats {
+	var st GraphStats
+	st.Edges = len(g.Edges)
+	if st.Edges == 0 {
+		return st
+	}
+	var total time.Duration
+	for _, e := range g.Edges {
+		l := an.Actions[e.To].Rec.Start - an.Actions[e.From].Rec.Start
+		if l < 0 {
+			l = 0
+		}
+		total += l
+		if l > st.MaxLength {
+			st.MaxLength = l
+		}
+	}
+	st.MeanLength = total / time.Duration(st.Edges)
+	return st
+}
+
+// ValidateOrder checks that a completed replay order (a permutation of
+// action indices in the order they were issued, with issue and
+// completion times) satisfies every edge; used by tests and the
+// replayer's self-check mode. issue and complete map action index to
+// virtual times.
+func (g *Graph) ValidateOrder(issue, complete []time.Duration) error {
+	if len(issue) != g.N || len(complete) != g.N {
+		return fmt.Errorf("core: order length mismatch")
+	}
+	for _, e := range g.Edges {
+		switch e.Kind {
+		case WaitComplete:
+			if issue[e.To] < complete[e.From] {
+				return fmt.Errorf("core: action %d issued at %v before dependency %d completed at %v (%s)",
+					e.To, issue[e.To], e.From, complete[e.From], e.Res)
+			}
+		case WaitIssue:
+			if issue[e.To] < issue[e.From] {
+				return fmt.Errorf("core: action %d issued at %v before dependency %d issued at %v",
+					e.To, issue[e.To], e.From, issue[e.From])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rootreplay/internal/stack"
+	"rootreplay/internal/workload"
+)
+
+// Fig5aResult is the workload-parallelism microbenchmark: traces of 1-,
+// 2- and 8-thread random readers replayed on the tracing system.
+type Fig5aResult struct {
+	Comparisons []*Comparison // one per thread count
+}
+
+// Fig5a runs the experiment of Figure 5(a).
+func Fig5a(p Params) (*Fig5aResult, error) {
+	res := &Fig5aResult{}
+	for _, threads := range []int{1, 2, 8} {
+		w := &workload.RandomReaders{
+			Threads: threads, ReadsPerThread: p.ReadsPerThread,
+			FileBytes: p.FileBytes, Seed: 42,
+		}
+		conf := hddConf()
+		conf.CachePages = p.CachePagesSmall
+		cmp, err := compare(fmt.Sprintf("%d threads", threads), w, conf, conf)
+		if err != nil {
+			return nil, err
+		}
+		res.Comparisons = append(res.Comparisons, cmp)
+	}
+	return res, nil
+}
+
+// Format renders the figure's bar groups as a table.
+func (r *Fig5aResult) Format() string {
+	return formatComparisons("Figure 5(a): workload parallelism (random readers)", r.Comparisons)
+}
+
+// Fig5bResult is the disk-parallelism experiment: trace on one disk,
+// replay on RAID-0, and vice versa.
+type Fig5bResult struct {
+	Comparisons []*Comparison
+}
+
+// Fig5b runs the experiment of Figure 5(b) with the 2-thread reader.
+func Fig5b(p Params) (*Fig5bResult, error) {
+	w := &workload.RandomReaders{
+		Threads: 2, ReadsPerThread: p.ReadsPerThread, FileBytes: p.FileBytes, Seed: 43,
+	}
+	single := hddConf()
+	single.CachePages = p.CachePagesSmall
+	raid := hddConf()
+	raid.Name = "linux-ext4-raid0"
+	raid.Device = stack.DeviceRAID
+	raid.CachePages = p.CachePagesSmall
+
+	res := &Fig5bResult{}
+	for _, dir := range []struct {
+		label    string
+		src, tgt stack.Config
+	}{
+		{"1disk -> raid0", single, raid},
+		{"raid0 -> 1disk", raid, single},
+	} {
+		cmp, err := compare(dir.label, w, dir.src, dir.tgt)
+		if err != nil {
+			return nil, err
+		}
+		res.Comparisons = append(res.Comparisons, cmp)
+	}
+	return res, nil
+}
+
+// Format renders the result.
+func (r *Fig5bResult) Format() string {
+	return formatComparisons("Figure 5(b): disk parallelism (1 disk <-> RAID-0)", r.Comparisons)
+}
+
+// Fig5cResult is the cache-size experiment: trace with a big cache,
+// replay with a small one, and vice versa.
+type Fig5cResult struct {
+	Comparisons []*Comparison
+}
+
+// Fig5c runs the experiment of Figure 5(c): thread 1 pre-reads its whole
+// file sequentially, then random-reads it; thread 2 random-reads its own
+// file; both on RAID-0 as in the paper.
+func Fig5c(p Params) (*Fig5cResult, error) {
+	w := &workload.CacheReaders{
+		ReadsPerThread: p.ReadsPerThread, FileBytes: p.FileBytes, Seed: 44,
+	}
+	mk := func(pages int64, name string) stack.Config {
+		c := hddConf()
+		c.Name = name
+		c.Device = stack.DeviceRAID
+		c.CachePages = pages
+		return c
+	}
+	big := mk(p.CachePagesBig, "raid0-bigcache")
+	small := mk(p.CachePagesSmall, "raid0-smallcache")
+
+	res := &Fig5cResult{}
+	for _, dir := range []struct {
+		label    string
+		src, tgt stack.Config
+	}{
+		{"big$ -> small$", big, small},
+		{"small$ -> big$", small, big},
+	} {
+		cmp, err := compare(dir.label, w, dir.src, dir.tgt)
+		if err != nil {
+			return nil, err
+		}
+		res.Comparisons = append(res.Comparisons, cmp)
+	}
+	return res, nil
+}
+
+// Format renders the result.
+func (r *Fig5cResult) Format() string {
+	return formatComparisons("Figure 5(c): cache size (big <-> small)", r.Comparisons)
+}
+
+// Fig5dResult is the scheduler-slice experiment: trace under one CFQ
+// slice_sync, replay under another.
+type Fig5dResult struct {
+	Comparisons []*Comparison
+}
+
+// Fig5d runs the experiment of Figure 5(d): two sequential readers
+// compete; slice_sync is 100ms on one machine and 1ms on the other.
+func Fig5d(p Params) (*Fig5dResult, error) {
+	w := &workload.SeqCompetitors{ReadsPerThread: p.SeqReads, FileBytes: p.FileBytes}
+	mk := func(slice time.Duration, name string) stack.Config {
+		c := hddConf()
+		c.Name = name
+		c.SliceSync = slice
+		c.CachePages = p.CachePagesSmall
+		return c
+	}
+	long := mk(100*time.Millisecond, "cfq-100ms")
+	short := mk(1*time.Millisecond, "cfq-1ms")
+
+	res := &Fig5dResult{}
+	for _, dir := range []struct {
+		label    string
+		src, tgt stack.Config
+	}{
+		{"100ms -> 1ms", long, short},
+		{"1ms -> 100ms", short, long},
+	} {
+		cmp, err := compare(dir.label, w, dir.src, dir.tgt)
+		if err != nil {
+			return nil, err
+		}
+		res.Comparisons = append(res.Comparisons, cmp)
+	}
+	return res, nil
+}
+
+// Format renders the result.
+func (r *Fig5dResult) Format() string {
+	return formatComparisons("Figure 5(d): CFQ slice_sync (100ms <-> 1ms)", r.Comparisons)
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rootreplay/internal/artc"
+	"rootreplay/internal/metrics"
+	"rootreplay/internal/snapshot"
+	"rootreplay/internal/stack"
+	"rootreplay/internal/trace"
+	"rootreplay/internal/workload"
+)
+
+// Fig6Slices is the slice_sync sweep of Figure 6.
+var Fig6Slices = []time.Duration{
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond,
+}
+
+// Fig6Series is one line of Figure 6: throughput (MB/s) at each target
+// slice value.
+type Fig6Series struct {
+	Label      string
+	Throughput []float64 // MB/s, aligned with Fig6Slices
+}
+
+// Fig6Result holds the original's line plus three replay lines for each
+// of the two source traces (slice_sync 1ms and 100ms).
+type Fig6Result struct {
+	Series []Fig6Series
+}
+
+// Fig6 runs the anticipation sweep: the original program at every target
+// slice, and replays of a 1ms-source trace and a 100ms-source trace at
+// every target slice with each method.
+func Fig6(p Params) (*Fig6Result, error) {
+	w := &workload.SeqCompetitors{ReadsPerThread: p.SeqReads, FileBytes: p.FileBytes}
+	totalMB := float64(2*p.SeqReads*4096) / 1e6
+	mk := func(slice time.Duration) stack.Config {
+		c := hddConf()
+		c.Name = fmt.Sprintf("cfq-%v", slice)
+		c.SliceSync = slice
+		c.CachePages = p.CachePagesSmall
+		return c
+	}
+
+	res := &Fig6Result{}
+	orig := Fig6Series{Label: "original"}
+	for _, s := range Fig6Slices {
+		d, err := workload.Run(mk(s), w)
+		if err != nil {
+			return nil, err
+		}
+		orig.Throughput = append(orig.Throughput, totalMB/d.Seconds())
+	}
+	res.Series = append(res.Series, orig)
+
+	type src struct {
+		label string
+		slice time.Duration
+	}
+	for _, s := range []src{{"1ms-src", time.Millisecond}, {"100ms-src", 100 * time.Millisecond}} {
+		tr, snap, _, err := workload.TraceWorkload(mk(s.slice), w)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range Methods {
+			series := Fig6Series{Label: fmt.Sprintf("%s/%s", m, s.label)}
+			for _, target := range Fig6Slices {
+				d, err := fig6Replay(tr, snap, mk(target), m)
+				if err != nil {
+					return nil, err
+				}
+				series.Throughput = append(series.Throughput, totalMB/d.Seconds())
+			}
+			res.Series = append(res.Series, series)
+		}
+	}
+	return res, nil
+}
+
+func fig6Replay(tr *trace.Trace, snap *snapshot.Snapshot, tgt stack.Config, m artc.Method) (time.Duration, error) {
+	run, err := replayOnce(tr, snap, tgt, m)
+	if err != nil {
+		return 0, err
+	}
+	return run.Elapsed, nil
+}
+
+// Format renders the sweep as a table: one row per series, one column
+// per slice value.
+func (r *Fig6Result) Format() string {
+	header := []string{"series"}
+	for _, s := range Fig6Slices {
+		header = append(header, s.String())
+	}
+	t := metrics.NewTable(header...)
+	for _, s := range r.Series {
+		cells := []any{s.Label}
+		for _, v := range s.Throughput {
+			cells = append(cells, fmt.Sprintf("%.1f", v))
+		}
+		t.Row(cells...)
+	}
+	return "Figure 6: throughput (MB/s) vs target slice_sync\n" + t.String()
+}

@@ -1,0 +1,181 @@
+// Package magritte generates and runs the Magritte benchmark suite: 34
+// traces modelled on Apple's iLife and iWork desktop applications (§5.1,
+// §6). The original suite was compiled by ARTC from the iBench traces;
+// those are not redistributable here, so each trace is synthesized by
+// running a parametric application program — with the thread structure,
+// call mix, inter-thread resource handoffs, and OS X-specific calls that
+// characterize each application family — on a simulated OS X system and
+// recording its system calls.
+//
+// The suite reproduces the iBench fidelity quirks the paper discusses:
+// extended attributes read by the application are (by default) missing
+// from the captured snapshot, so a handful of replayed xattr calls fail,
+// matching Table 3's small nonzero ARTC error counts; /dev/random is
+// read by some applications, requiring the symlink-to-urandom trick when
+// replaying on Linux.
+package magritte
+
+import "fmt"
+
+// Spec describes one Magritte trace: its application family, target
+// event count, thread structure, and operation mix (weights need not sum
+// to anything in particular; they are relative).
+type Spec struct {
+	App   string // application, e.g. "iphoto"
+	Trace string // trace name, e.g. "edit400"
+	// Events is the full-scale traced event count from Table 3.
+	Events int
+	// Workers is the number of worker threads besides the coordinator.
+	Workers int
+	// Mix weights.
+	WRead, WWrite, WFsync, WStat, WOpenClose, WXattr, WAttrList, WCreate, WRename, WDelete int
+	// HandoffPct is the percentage of opens whose descriptor is handed
+	// to another thread (read there, closed by a third): the cross-thread
+	// dependency pattern that breaks unconstrained replay.
+	HandoffPct int
+	// XattrMissing is the number of xattr reads against attributes that
+	// exist during tracing but are absent from the snapshot (the iBench
+	// initialization gap; these become ARTC's residual errors).
+	XattrMissing int
+	// DevRandom makes the application read /dev/random during startup.
+	DevRandom bool
+	// UseAIO makes a fraction of media reads go through the POSIX AIO
+	// calls (aio_read / aio_error / aio_suspend / aio_return), as
+	// iMovie's streaming import/export paths do; this exercises the
+	// aio_stage ordering mode.
+	UseAIO bool
+}
+
+// FullName returns "app_trace", e.g. "iphoto_edit400".
+func (s Spec) FullName() string { return fmt.Sprintf("%s_%s", s.App, s.Trace) }
+
+// Specs lists the 34 Magritte traces with Table 3's event counts.
+// Family mixes follow Figure 10: iPhoto and iTunes are fsync-heavy
+// (library databases), Numbers and Keynote are dominated by reads and
+// stat-family calls, iMovie and Pages are spread across categories.
+var Specs = []Spec{
+	// iPhoto: photo-library management; sqlite-style DB with frequent
+	// fsyncs, thumbnail churn, heavy cross-thread handoff in edit.
+	{App: "iphoto", Trace: "start400", Events: 35000, Workers: 4,
+		WRead: 30, WWrite: 8, WFsync: 10, WStat: 20, WOpenClose: 15, WXattr: 6, WAttrList: 8, WCreate: 2, WRename: 1, WDelete: 0,
+		HandoffPct: 12, XattrMissing: 2, DevRandom: true},
+	{App: "iphoto", Trace: "import400", Events: 827000, Workers: 6,
+		WRead: 25, WWrite: 20, WFsync: 12, WStat: 12, WOpenClose: 12, WXattr: 5, WAttrList: 5, WCreate: 6, WRename: 3, WDelete: 1,
+		HandoffPct: 25, XattrMissing: 3},
+	{App: "iphoto", Trace: "duplicate400", Events: 210000, Workers: 5,
+		WRead: 28, WWrite: 18, WFsync: 12, WStat: 12, WOpenClose: 12, WXattr: 4, WAttrList: 6, WCreate: 6, WRename: 2, WDelete: 1,
+		HandoffPct: 18, XattrMissing: 2},
+	{App: "iphoto", Trace: "edit400", Events: 1660000, Workers: 8,
+		WRead: 26, WWrite: 20, WFsync: 14, WStat: 10, WOpenClose: 12, WXattr: 4, WAttrList: 4, WCreate: 5, WRename: 4, WDelete: 1,
+		HandoffPct: 40, XattrMissing: 2},
+	{App: "iphoto", Trace: "delete400", Events: 431000, Workers: 5,
+		WRead: 20, WWrite: 12, WFsync: 14, WStat: 16, WOpenClose: 14, WXattr: 4, WAttrList: 6, WCreate: 2, WRename: 2, WDelete: 10,
+		HandoffPct: 15, XattrMissing: 2},
+	{App: "iphoto", Trace: "view400", Events: 270000, Workers: 5,
+		WRead: 40, WWrite: 6, WFsync: 8, WStat: 18, WOpenClose: 16, WXattr: 4, WAttrList: 8, WCreate: 0, WRename: 0, WDelete: 0,
+		HandoffPct: 14, XattrMissing: 2},
+
+	// iTunes: music library; DB fsyncs dominate, lighter threading.
+	{App: "itunes", Trace: "startsmall1", Events: 5500, Workers: 3,
+		WRead: 30, WWrite: 8, WFsync: 12, WStat: 20, WOpenClose: 14, WXattr: 4, WAttrList: 10, WCreate: 1, WRename: 1, WDelete: 0,
+		HandoffPct: 6, XattrMissing: 0, DevRandom: true},
+	{App: "itunes", Trace: "importsmall1", Events: 10000, Workers: 4,
+		WRead: 24, WWrite: 18, WFsync: 16, WStat: 12, WOpenClose: 12, WXattr: 4, WAttrList: 6, WCreate: 5, WRename: 3, WDelete: 0,
+		HandoffPct: 20, XattrMissing: 0},
+	{App: "itunes", Trace: "importmovie1", Events: 5300, Workers: 3,
+		WRead: 26, WWrite: 20, WFsync: 14, WStat: 10, WOpenClose: 12, WXattr: 4, WAttrList: 6, WCreate: 5, WRename: 3, WDelete: 0,
+		HandoffPct: 12, XattrMissing: 0},
+	{App: "itunes", Trace: "album1", Events: 9700, Workers: 3,
+		WRead: 28, WWrite: 14, WFsync: 14, WStat: 14, WOpenClose: 14, WXattr: 4, WAttrList: 8, WCreate: 3, WRename: 1, WDelete: 0,
+		HandoffPct: 14, XattrMissing: 0},
+	{App: "itunes", Trace: "movie1", Events: 9500, Workers: 3,
+		WRead: 32, WWrite: 12, WFsync: 12, WStat: 14, WOpenClose: 14, WXattr: 4, WAttrList: 8, WCreate: 2, WRename: 1, WDelete: 0,
+		HandoffPct: 16, XattrMissing: 0},
+
+	// iMovie: video editing; large sequential media reads/writes.
+	{App: "imovie", Trace: "start1", Events: 21000, Workers: 4,
+		WRead: 34, WWrite: 8, WFsync: 6, WStat: 18, WOpenClose: 16, WXattr: 4, WAttrList: 8, WCreate: 2, WRename: 1, WDelete: 0,
+		HandoffPct: 8, XattrMissing: 2},
+	{App: "imovie", Trace: "import1", Events: 35000, Workers: 4,
+		WRead: 28, WWrite: 24, WFsync: 8, WStat: 10, WOpenClose: 12, WXattr: 3, WAttrList: 5, WCreate: 6, WRename: 3, WDelete: 1,
+		HandoffPct: 22, XattrMissing: 3, UseAIO: true},
+	{App: "imovie", Trace: "add1", Events: 24000, Workers: 4,
+		WRead: 30, WWrite: 16, WFsync: 8, WStat: 14, WOpenClose: 14, WXattr: 3, WAttrList: 6, WCreate: 5, WRename: 3, WDelete: 1,
+		HandoffPct: 16, XattrMissing: 3},
+	{App: "imovie", Trace: "export1", Events: 42000, Workers: 5,
+		WRead: 30, WWrite: 26, WFsync: 8, WStat: 8, WOpenClose: 10, WXattr: 3, WAttrList: 4, WCreate: 6, WRename: 4, WDelete: 1,
+		HandoffPct: 26, XattrMissing: 5, UseAIO: true},
+
+	// Pages: word processor; plist/stat storms, moderate writes.
+	{App: "pages", Trace: "start15", Events: 13000, Workers: 3,
+		WRead: 34, WWrite: 4, WFsync: 2, WStat: 26, WOpenClose: 18, WXattr: 5, WAttrList: 9, WCreate: 1, WRename: 0, WDelete: 0,
+		HandoffPct: 4, XattrMissing: 4},
+	{App: "pages", Trace: "create15", Events: 16000, Workers: 3,
+		WRead: 30, WWrite: 10, WFsync: 4, WStat: 22, WOpenClose: 16, WXattr: 5, WAttrList: 8, WCreate: 4, WRename: 1, WDelete: 0,
+		HandoffPct: 8, XattrMissing: 4},
+	{App: "pages", Trace: "createphoto15", Events: 56000, Workers: 4,
+		WRead: 30, WWrite: 14, WFsync: 4, WStat: 18, WOpenClose: 14, WXattr: 4, WAttrList: 7, WCreate: 6, WRename: 2, WDelete: 1,
+		HandoffPct: 14, XattrMissing: 4},
+	{App: "pages", Trace: "open15", Events: 15000, Workers: 3,
+		WRead: 36, WWrite: 4, WFsync: 2, WStat: 24, WOpenClose: 18, WXattr: 5, WAttrList: 9, WCreate: 1, WRename: 0, WDelete: 0,
+		HandoffPct: 5, XattrMissing: 4},
+	{App: "pages", Trace: "pdf15", Events: 15000, Workers: 3,
+		WRead: 32, WWrite: 10, WFsync: 3, WStat: 22, WOpenClose: 16, WXattr: 4, WAttrList: 8, WCreate: 4, WRename: 1, WDelete: 0,
+		HandoffPct: 7, XattrMissing: 4},
+	{App: "pages", Trace: "pdfphoto15", Events: 54000, Workers: 4,
+		WRead: 30, WWrite: 12, WFsync: 3, WStat: 20, WOpenClose: 14, WXattr: 4, WAttrList: 8, WCreate: 5, WRename: 2, WDelete: 0,
+		HandoffPct: 12, XattrMissing: 4},
+	{App: "pages", Trace: "doc15", Events: 15000, Workers: 3,
+		WRead: 32, WWrite: 10, WFsync: 3, WStat: 22, WOpenClose: 16, WXattr: 4, WAttrList: 8, WCreate: 4, WRename: 1, WDelete: 0,
+		HandoffPct: 7, XattrMissing: 4},
+	{App: "pages", Trace: "docphoto15", Events: 205000, Workers: 5,
+		WRead: 30, WWrite: 14, WFsync: 4, WStat: 18, WOpenClose: 14, WXattr: 4, WAttrList: 7, WCreate: 6, WRename: 2, WDelete: 1,
+		HandoffPct: 16, XattrMissing: 4},
+
+	// Numbers: spreadsheet; read + stat dominated, almost no handoff.
+	{App: "numbers", Trace: "start5", Events: 10000, Workers: 2,
+		WRead: 38, WWrite: 3, WFsync: 1, WStat: 28, WOpenClose: 18, WXattr: 4, WAttrList: 8, WCreate: 0, WRename: 0, WDelete: 0,
+		HandoffPct: 0, XattrMissing: 0},
+	{App: "numbers", Trace: "createcol5", Events: 15000, Workers: 3,
+		WRead: 34, WWrite: 8, WFsync: 2, WStat: 24, WOpenClose: 16, WXattr: 4, WAttrList: 8, WCreate: 3, WRename: 1, WDelete: 0,
+		HandoffPct: 6, XattrMissing: 0},
+	{App: "numbers", Trace: "open5", Events: 12000, Workers: 2,
+		WRead: 38, WWrite: 3, WFsync: 1, WStat: 28, WOpenClose: 18, WXattr: 4, WAttrList: 8, WCreate: 0, WRename: 0, WDelete: 0,
+		HandoffPct: 0, XattrMissing: 0},
+	{App: "numbers", Trace: "xls5", Events: 14000, Workers: 2,
+		WRead: 36, WWrite: 6, WFsync: 2, WStat: 26, WOpenClose: 16, WXattr: 4, WAttrList: 8, WCreate: 2, WRename: 0, WDelete: 0,
+		HandoffPct: 0, XattrMissing: 0},
+
+	// Keynote: presentations; read/stat heavy with photo variants.
+	{App: "keynote", Trace: "start20", Events: 17000, Workers: 2,
+		WRead: 38, WWrite: 3, WFsync: 1, WStat: 28, WOpenClose: 18, WXattr: 4, WAttrList: 8, WCreate: 0, WRename: 0, WDelete: 0,
+		HandoffPct: 0, XattrMissing: 0},
+	{App: "keynote", Trace: "create20", Events: 36000, Workers: 3,
+		WRead: 34, WWrite: 8, WFsync: 2, WStat: 24, WOpenClose: 16, WXattr: 4, WAttrList: 8, WCreate: 3, WRename: 1, WDelete: 0,
+		HandoffPct: 8, XattrMissing: 0},
+	{App: "keynote", Trace: "createphoto20", Events: 38000, Workers: 4,
+		WRead: 32, WWrite: 10, WFsync: 2, WStat: 22, WOpenClose: 15, WXattr: 4, WAttrList: 8, WCreate: 5, WRename: 2, WDelete: 0,
+		HandoffPct: 12, XattrMissing: 2},
+	{App: "keynote", Trace: "play20", Events: 28000, Workers: 2,
+		WRead: 42, WWrite: 2, WFsync: 1, WStat: 26, WOpenClose: 18, WXattr: 3, WAttrList: 8, WCreate: 0, WRename: 0, WDelete: 0,
+		HandoffPct: 0, XattrMissing: 0},
+	{App: "keynote", Trace: "playphoto20", Events: 30000, Workers: 3,
+		WRead: 42, WWrite: 2, WFsync: 1, WStat: 26, WOpenClose: 18, WXattr: 3, WAttrList: 8, WCreate: 0, WRename: 0, WDelete: 0,
+		HandoffPct: 6, XattrMissing: 0},
+	{App: "keynote", Trace: "ppt20", Events: 51000, Workers: 3,
+		WRead: 36, WWrite: 8, WFsync: 2, WStat: 24, WOpenClose: 16, WXattr: 4, WAttrList: 8, WCreate: 2, WRename: 1, WDelete: 0,
+		HandoffPct: 5, XattrMissing: 2},
+	{App: "keynote", Trace: "pptphoto20", Events: 126000, Workers: 4,
+		WRead: 34, WWrite: 10, WFsync: 2, WStat: 22, WOpenClose: 15, WXattr: 4, WAttrList: 8, WCreate: 4, WRename: 1, WDelete: 0,
+		HandoffPct: 8, XattrMissing: 2},
+}
+
+// SpecByName finds a spec by FullName.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Specs {
+		if s.FullName() == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,383 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rootreplay/internal/sim"
+	"rootreplay/internal/storage"
+)
+
+// seqReader simulates a thread issuing back-to-back sequential 4KB reads
+// from its own region, via the scheduler, until stop time. It returns a
+// count of completed reads through the pointer.
+func seqReader(k *sim.Kernel, s Scheduler, owner int, startLBA int64, until time.Duration, count *int) {
+	k.Spawn("reader", func(t *sim.Thread) {
+		lba := startLBA
+		for k.Now() < until {
+			done := sim.NewCond(k)
+			finished := false
+			s.Submit(&storage.Request{Kind: storage.Read, LBA: lba, Blocks: 8, Owner: owner}, func() {
+				finished = true
+				done.Broadcast()
+			})
+			for !finished {
+				done.Wait(t, "io")
+			}
+			lba += 8
+			*count++
+		}
+	})
+}
+
+func TestNoopPassesThrough(t *testing.T) {
+	k := sim.NewKernel()
+	dev := storage.NewHDD(k, "d", storage.DefaultHDD())
+	s := NewNoop(dev)
+	n := 0
+	for i := 0; i < 10; i++ {
+		s.Submit(&storage.Request{Kind: storage.Read, LBA: int64(i * 1000), Blocks: 1, Owner: 1}, func() { n++ })
+	}
+	if s.Outstanding() != 10 {
+		t.Fatalf("outstanding = %d", s.Outstanding())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 || s.Outstanding() != 0 {
+		t.Fatalf("completed %d, outstanding %d", n, s.Outstanding())
+	}
+}
+
+// Two competing sequential readers: a long slice should give much higher
+// aggregate throughput than a tiny slice, because switching threads
+// costs a seek between their files.
+func TestCFQSliceThroughputTradeoff(t *testing.T) {
+	run := func(slice time.Duration) int {
+		k := sim.NewKernel()
+		dev := storage.NewHDD(k, "d", storage.DefaultHDD())
+		p := DefaultCFQ()
+		p.SliceSync = slice
+		s := NewCFQ(k, dev, p)
+		total := 0
+		c1, c2 := 0, 0
+		// Far-apart regions: switching owners costs a long seek.
+		seqReader(k, s, 1, 0, 2*time.Second, &c1)
+		seqReader(k, s, 2, 10_000_000, 2*time.Second, &c2)
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		total = c1 + c2
+		return total
+	}
+	big := run(100 * time.Millisecond)
+	small := run(1 * time.Millisecond)
+	if big <= small {
+		t.Fatalf("100ms slice (%d reads) not faster than 1ms slice (%d reads)", big, small)
+	}
+	ratio := float64(big) / float64(small)
+	if ratio < 1.5 {
+		t.Fatalf("slice effect too weak: ratio %.2f", ratio)
+	}
+}
+
+// With a long slice both readers should still both make progress
+// (fairness): neither should be starved entirely over a long run.
+func TestCFQFairness(t *testing.T) {
+	k := sim.NewKernel()
+	dev := storage.NewHDD(k, "d", storage.DefaultHDD())
+	s := NewCFQ(k, dev, DefaultCFQ())
+	c1, c2 := 0, 0
+	seqReader(k, s, 1, 0, 3*time.Second, &c1)
+	seqReader(k, s, 2, 10_000_000, 3*time.Second, &c2)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c1 == 0 || c2 == 0 {
+		t.Fatalf("starvation: c1=%d c2=%d", c1, c2)
+	}
+	lo, hi := c1, c2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if float64(lo) < 0.25*float64(hi) {
+		t.Fatalf("unfair split: %d vs %d", c1, c2)
+	}
+}
+
+// Anticipation: a single sequential reader with sub-millisecond think
+// time must not lose the device to a competing seeky owner on every
+// request. We check that the sequential reader achieves most of the
+// throughput it would get running alone.
+func TestCFQAnticipationHoldsDevice(t *testing.T) {
+	seqOnly := func(withCompetitor bool) int {
+		k := sim.NewKernel()
+		dev := storage.NewHDD(k, "d", storage.DefaultHDD())
+		s := NewCFQ(k, dev, DefaultCFQ())
+		c := 0
+		// Sequential reader with a tiny compute gap between requests.
+		k.Spawn("seq", func(t *sim.Thread) {
+			lba := int64(0)
+			for k.Now() < time.Second {
+				done := sim.NewCond(k)
+				fin := false
+				s.Submit(&storage.Request{Kind: storage.Read, LBA: lba, Blocks: 8, Owner: 1}, func() {
+					fin = true
+					done.Broadcast()
+				})
+				for !fin {
+					done.Wait(t, "io")
+				}
+				lba += 8
+				c++
+				t.Sleep(50 * time.Microsecond) // think time
+			}
+		})
+		if withCompetitor {
+			k.Spawn("rand", func(t *sim.Thread) {
+				n := int64(1)
+				for k.Now() < time.Second {
+					done := sim.NewCond(k)
+					fin := false
+					lba := (n*2654435761 + 999) % 50_000_000
+					s.Submit(&storage.Request{Kind: storage.Read, LBA: lba, Blocks: 1, Owner: 2}, func() {
+						fin = true
+						done.Broadcast()
+					})
+					for !fin {
+						done.Wait(t, "io")
+					}
+					n++
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	alone := seqOnly(false)
+	shared := seqOnly(true)
+	// With anticipation the sequential reader keeps its slices; it should
+	// retain a solid share (at least a third) of its solo throughput
+	// rather than collapsing to seek-bound ping-pong.
+	if float64(shared) < 0.33*float64(alone) {
+		t.Fatalf("anticipation failed: alone=%d shared=%d", alone, shared)
+	}
+}
+
+// Parallel random readers through CFQ should beat a single random reader
+// doing the same total work, because seeky queues do not idle and the
+// device elevator sees a deep queue.
+func TestCFQSeekyQueuesKeepDeviceQueueDeep(t *testing.T) {
+	randomReaders := func(nThreads, readsPer int) time.Duration {
+		k := sim.NewKernel()
+		dev := storage.NewHDD(k, "d", storage.DefaultHDD())
+		s := NewCFQ(k, dev, DefaultCFQ())
+		wg := sim.NewWaitGroup(k)
+		wg.Add(nThreads)
+		for th := 0; th < nThreads; th++ {
+			th := th
+			k.Spawn("rr", func(t *sim.Thread) {
+				defer wg.Done()
+				for i := 0; i < readsPer; i++ {
+					done := sim.NewCond(k)
+					fin := false
+					lba := (int64(i+th*readsPer)*2654435761 + int64(th)) % 50_000_000
+					s.Submit(&storage.Request{Kind: storage.Read, LBA: lba, Blocks: 1, Owner: th + 1}, func() {
+						fin = true
+						done.Broadcast()
+					})
+					for !fin {
+						done.Wait(t, "io")
+					}
+				}
+			})
+		}
+		var total time.Duration
+		k.Spawn("waiter", func(t *sim.Thread) {
+			wg.Wait(t)
+			total = k.Now()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	serial := randomReaders(1, 400)
+	parallel := randomReaders(8, 50)
+	if float64(parallel) > 0.9*float64(serial) {
+		t.Fatalf("8-way random not faster: serial=%v parallel=%v", serial, parallel)
+	}
+}
+
+// Property: every request submitted through either scheduler completes
+// exactly once and Outstanding returns to zero.
+func TestQuickSchedulersComplete(t *testing.T) {
+	f := func(lbas []uint32, owners []uint8, useCFQ bool) bool {
+		if len(lbas) == 0 {
+			return true
+		}
+		if len(lbas) > 64 {
+			lbas = lbas[:64]
+		}
+		k := sim.NewKernel()
+		dev := storage.NewHDD(k, "d", storage.DefaultHDD())
+		var s Scheduler
+		if useCFQ {
+			s = NewCFQ(k, dev, DefaultCFQ())
+		} else {
+			s = NewNoop(dev)
+		}
+		completed := 0
+		for i, l := range lbas {
+			owner := 1
+			if len(owners) > 0 {
+				owner = int(owners[i%len(owners)])%4 + 1
+			}
+			s.Submit(&storage.Request{
+				Kind: storage.Read, LBA: int64(l % 1_000_000), Blocks: 1, Owner: owner,
+			}, func() { completed++ })
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return completed == len(lbas) && s.Outstanding() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Requests keep flowing when submissions trickle in over time (the idle
+// timer must not wedge the scheduler).
+func TestCFQTrickleSubmission(t *testing.T) {
+	k := sim.NewKernel()
+	dev := storage.NewHDD(k, "d", storage.DefaultHDD())
+	s := NewCFQ(k, dev, DefaultCFQ())
+	completed := 0
+	for i := 0; i < 20; i++ {
+		i := i
+		k.At(time.Duration(i)*37*time.Millisecond, func() {
+			s.Submit(&storage.Request{
+				Kind: storage.Read, LBA: int64(i) * 123_457 % 1_000_000, Blocks: 1, Owner: i%3 + 1,
+			}, func() { completed++ })
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if completed != 20 {
+		t.Fatalf("completed = %d, want 20", completed)
+	}
+}
+
+func BenchmarkCFQRandomMix(b *testing.B) {
+	k := sim.NewKernel()
+	dev := storage.NewHDD(k, "d", storage.DefaultHDD())
+	s := NewCFQ(k, dev, DefaultCFQ())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Submit(&storage.Request{
+			Kind: storage.Read, LBA: int64(i) * 2654435761 % 1_000_000, Blocks: 1, Owner: i%8 + 1,
+		}, func() {})
+	}
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestDeadlineCompletesAll(t *testing.T) {
+	k := sim.NewKernel()
+	dev := storage.NewHDD(k, "d", storage.DefaultHDD())
+	s := NewDeadline(k, dev, DefaultDeadline())
+	n := 0
+	for i := 0; i < 50; i++ {
+		s.Submit(&storage.Request{
+			Kind: storage.Read, LBA: int64(i) * 2654435761 % 1_000_000, Blocks: 1, Owner: i%4 + 1,
+		}, func() { n++ })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 || s.Outstanding() != 0 {
+		t.Fatalf("completed %d, outstanding %d", n, s.Outstanding())
+	}
+}
+
+// Deadline bounds starvation: a request at a far-away LBA completes
+// within its expiry even while a stream of nearby requests keeps the
+// elevator busy.
+func TestDeadlineExpiryPreventsStarvation(t *testing.T) {
+	k := sim.NewKernel()
+	dev := storage.NewHDD(k, "d", storage.DefaultHDD())
+	p := DefaultDeadline()
+	p.ReadExpire = 200 * time.Millisecond
+	s := NewDeadline(k, dev, p)
+	var farDone time.Duration
+	s.Submit(&storage.Request{Kind: storage.Read, LBA: 60_000_000, Blocks: 1, Owner: 2}, func() {
+		farDone = k.Now()
+	})
+	// A continuous stream of low-LBA requests that would otherwise keep
+	// the head parked near zero.
+	var feed func(i int)
+	feed = func(i int) {
+		if i >= 400 {
+			return
+		}
+		s.Submit(&storage.Request{Kind: storage.Read, LBA: int64(i) * 64, Blocks: 1, Owner: 1}, func() {
+			feed(i + 1)
+		})
+	}
+	feed(0)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if farDone == 0 {
+		t.Fatal("far request never completed")
+	}
+	// Within expiry plus a service-time allowance.
+	if farDone > p.ReadExpire+100*time.Millisecond {
+		t.Fatalf("far request done at %v, expiry %v", farDone, p.ReadExpire)
+	}
+}
+
+// Deadline never idles: sequential readers pay no anticipation or slice
+// cost, so a random competitor is serviced promptly (lower worst-case
+// latency than CFQ's slice would give it).
+func TestDeadlineNoIdling(t *testing.T) {
+	k := sim.NewKernel()
+	dev := storage.NewHDD(k, "d", storage.DefaultHDD())
+	s := NewDeadline(k, dev, DefaultDeadline())
+	var competitorDone time.Duration
+	k.Spawn("seq", func(t2 *sim.Thread) {
+		lba := int64(0)
+		for i := 0; i < 200; i++ {
+			done := sim.NewCond(k)
+			fin := false
+			s.Submit(&storage.Request{Kind: storage.Read, LBA: lba, Blocks: 8, Owner: 1}, func() {
+				fin = true
+				done.Broadcast()
+			})
+			for !fin {
+				done.Wait(t2, "io")
+			}
+			lba += 8
+		}
+	})
+	k.At(10*time.Millisecond, func() {
+		s.Submit(&storage.Request{Kind: storage.Read, LBA: 50_000_000, Blocks: 1, Owner: 2}, func() {
+			competitorDone = k.Now()
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if competitorDone == 0 {
+		t.Fatal("competitor never completed")
+	}
+	if competitorDone > 600*time.Millisecond {
+		t.Fatalf("competitor done at %v; deadline should bound it", competitorDone)
+	}
+}

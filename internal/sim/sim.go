@@ -1,0 +1,457 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All timing in the ROOT/ARTC reproduction runs on sim's virtual clock:
+// workloads, the simulated storage stack, and the trace replayer execute
+// as simulated threads (coroutines) scheduled one at a time by a Kernel.
+// Because exactly one thread runs at any instant and the run queue and
+// event queue are FIFO with deterministic tie-breaking, a simulation is
+// fully reproducible: the same program yields the same virtual-time
+// results on every run, on every host.
+//
+// Threads are implemented as goroutines that hand control back and forth
+// with the kernel through unbuffered channels; the goroutine machinery is
+// an implementation detail and no two simulated threads ever run
+// concurrently.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ThreadState describes the scheduling state of a simulated thread.
+type ThreadState int
+
+const (
+	// StateRunnable means the thread is in the kernel's run queue.
+	StateRunnable ThreadState = iota
+	// StateRunning means the thread is the one currently executing.
+	StateRunning
+	// StateBlocked means the thread is parked waiting to be woken.
+	StateBlocked
+	// StateDone means the thread's body has returned.
+	StateDone
+)
+
+// String returns a short human-readable name for the state.
+func (s ThreadState) String() string {
+	switch s {
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("ThreadState(%d)", int(s))
+	}
+}
+
+// event is a timed callback in the kernel's event queue.
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tie-break for events at the same instant
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Thread is a simulated thread of execution. A Thread's body runs as a
+// coroutine: it executes only between the kernel resuming it and the
+// thread's next blocking call (Sleep, Park, Cond.Wait, ...).
+type Thread struct {
+	k      *Kernel
+	id     int
+	name   string
+	state  ThreadState
+	resume chan struct{}
+
+	// blockReason is a human-readable description of what the thread is
+	// waiting for, used in deadlock reports.
+	blockReason string
+}
+
+// ID returns the thread's kernel-assigned identifier (1-based, in spawn
+// order).
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the name given at spawn time.
+func (t *Thread) Name() string { return t.name }
+
+// State returns the thread's scheduling state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// Kernel returns the kernel this thread belongs to.
+func (t *Thread) Kernel() *Kernel { return t.k }
+
+// Kernel is a discrete-event simulator with cooperative simulated threads.
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now     time.Duration
+	eseq    uint64
+	events  eventHeap
+	runq    []*Thread
+	current *Thread
+	yielded chan struct{}
+	live    int // spawned threads whose bodies have not returned
+	nextID  int
+	threads []*Thread // all spawned threads, for deadlock reporting
+
+	// stopped is set by Stop to abort Run at the next scheduling point.
+	stopped bool
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{yielded: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Live returns the number of spawned threads that have not finished.
+func (k *Kernel) Live() int { return k.live }
+
+// At schedules fn to run in kernel context at absolute virtual time at.
+// Scheduling in the past (at < Now) runs the event at the current time.
+func (k *Kernel) At(at time.Duration, fn func()) {
+	if at < k.now {
+		at = k.now
+	}
+	k.eseq++
+	heap.Push(&k.events, &event{at: at, seq: k.eseq, fn: fn})
+}
+
+// After schedules fn to run in kernel context d from now.
+func (k *Kernel) After(d time.Duration, fn func()) {
+	k.At(k.now+d, fn)
+}
+
+// Spawn creates a new simulated thread running fn and places it at the
+// back of the run queue. It may be called before Run or from within any
+// thread or event.
+func (k *Kernel) Spawn(name string, fn func(t *Thread)) *Thread {
+	k.nextID++
+	t := &Thread{
+		k:      k,
+		id:     k.nextID,
+		name:   name,
+		state:  StateRunnable,
+		resume: make(chan struct{}),
+	}
+	k.live++
+	k.threads = append(k.threads, t)
+	go func() {
+		<-t.resume
+		fn(t)
+		t.state = StateDone
+		k.live--
+		k.yielded <- struct{}{}
+	}()
+	k.runq = append(k.runq, t)
+	return t
+}
+
+// Stop aborts Run at the next scheduling point. Blocked threads are
+// abandoned (their goroutines leak until process exit); Stop is intended
+// for error paths and tests, not normal completion.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// DeadlockError reports that live threads remain but nothing is runnable
+// and no timed event can wake them.
+type DeadlockError struct {
+	Now     time.Duration
+	Blocked []string // "name(id): reason" for each blocked thread
+}
+
+// Error implements the error interface.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d thread(s) blocked: %s",
+		e.Now, len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+// Run executes the simulation until all threads have finished and the
+// event queue is empty, or until deadlock. It returns a *DeadlockError if
+// live threads remain blocked with no pending events, and nil otherwise.
+func (k *Kernel) Run() error {
+	for !k.stopped {
+		if len(k.runq) > 0 {
+			t := k.runq[0]
+			copy(k.runq, k.runq[1:])
+			k.runq = k.runq[:len(k.runq)-1]
+			k.current = t
+			t.state = StateRunning
+			t.resume <- struct{}{}
+			<-k.yielded
+			k.current = nil
+			continue
+		}
+		if len(k.events) > 0 {
+			e := heap.Pop(&k.events).(*event)
+			k.now = e.at
+			e.fn()
+			continue
+		}
+		if k.live > 0 {
+			var blocked []string
+			for _, t := range k.threads {
+				if t.state == StateBlocked {
+					blocked = append(blocked, fmt.Sprintf("%s(%d): %s", t.name, t.id, t.blockReason))
+				}
+			}
+			sort.Strings(blocked)
+			return &DeadlockError{Now: k.now, Blocked: blocked}
+		}
+		return nil
+	}
+	return nil
+}
+
+// block parks the calling thread with a reason and hands control to the
+// kernel; it returns when the thread is next resumed.
+func (t *Thread) block(reason string) {
+	if t.k.current != t {
+		panic(fmt.Sprintf("sim: thread %q blocking while not current", t.name))
+	}
+	t.state = StateBlocked
+	t.blockReason = reason
+	t.k.yielded <- struct{}{}
+	<-t.resume
+	t.blockReason = ""
+}
+
+// unpark moves a blocked thread to the back of the run queue. It is a
+// no-op for threads that are not blocked.
+func (k *Kernel) unpark(t *Thread) {
+	if t.state != StateBlocked {
+		return
+	}
+	t.state = StateRunnable
+	k.runq = append(k.runq, t)
+}
+
+// Yield moves the calling thread to the back of the run queue, letting
+// other runnable threads (but not the clock) make progress first.
+func (t *Thread) Yield() {
+	t.state = StateRunnable
+	t.k.runq = append(t.k.runq, t)
+	t.k.yielded <- struct{}{}
+	<-t.resume
+}
+
+// Sleep blocks the calling thread for d of virtual time. Negative or zero
+// durations yield without advancing the clock.
+func (t *Thread) Sleep(d time.Duration) {
+	if d <= 0 {
+		t.Yield()
+		return
+	}
+	t.k.After(d, func() { t.k.unpark(t) })
+	t.block(fmt.Sprintf("sleeping %v", d))
+}
+
+// Park blocks the calling thread until another thread or event calls
+// Unpark on it. The reason string appears in deadlock reports.
+func (t *Thread) Park(reason string) {
+	t.block(reason)
+}
+
+// Unpark makes a parked thread runnable. Calling it on a thread that is
+// not blocked is a no-op.
+func (k *Kernel) Unpark(t *Thread) { k.unpark(t) }
+
+// Cond is a condition variable for simulated threads. Unlike sync.Cond it
+// needs no external mutex: the simulation is single-threaded, so checking
+// a predicate and calling Wait is atomic with respect to other sim
+// threads.
+type Cond struct {
+	k       *Kernel
+	waiters []*Thread
+}
+
+// NewCond returns a condition variable bound to k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait blocks t until Signal or Broadcast. As with sync.Cond, callers
+// should re-check their predicate in a loop.
+func (c *Cond) Wait(t *Thread, reason string) {
+	c.waiters = append(c.waiters, t)
+	t.block(reason)
+}
+
+// Signal wakes the longest-waiting thread, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	t := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	c.k.unpark(t)
+}
+
+// Broadcast wakes all waiting threads in wait order.
+func (c *Cond) Broadcast() {
+	for _, t := range c.waiters {
+		c.k.unpark(t)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Waiters returns the number of threads currently waiting.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// WaitGroup counts outstanding work items, like sync.WaitGroup but for
+// simulated threads.
+type WaitGroup struct {
+	k    *Kernel
+	n    int
+	cond *Cond
+}
+
+// NewWaitGroup returns a WaitGroup bound to k.
+func NewWaitGroup(k *Kernel) *WaitGroup {
+	return &WaitGroup{k: k, cond: NewCond(k)}
+}
+
+// Add adds delta to the counter. It panics if the counter goes negative.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		w.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks t until the counter reaches zero.
+func (w *WaitGroup) Wait(t *Thread) {
+	for w.n > 0 {
+		w.cond.Wait(t, fmt.Sprintf("waitgroup (%d remaining)", w.n))
+	}
+}
+
+// Semaphore is a counting semaphore for simulated threads.
+type Semaphore struct {
+	k     *Kernel
+	avail int
+	cond  *Cond
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(k *Kernel, n int) *Semaphore {
+	return &Semaphore{k: k, avail: n, cond: NewCond(k)}
+}
+
+// Acquire blocks t until a permit is available, then takes it.
+func (s *Semaphore) Acquire(t *Thread) {
+	for s.avail == 0 {
+		s.cond.Wait(t, "semaphore")
+	}
+	s.avail--
+}
+
+// TryAcquire takes a permit if one is available, reporting whether it did.
+func (s *Semaphore) TryAcquire() bool {
+	if s.avail == 0 {
+		return false
+	}
+	s.avail--
+	return true
+}
+
+// Release returns a permit and wakes one waiter.
+func (s *Semaphore) Release() {
+	s.avail++
+	s.cond.Signal()
+}
+
+// Chan is a bounded FIFO channel between simulated threads. A capacity of
+// zero makes sends rendezvous with receives.
+type Chan[T any] struct {
+	k        *Kernel
+	cap      int
+	buf      []T
+	closed   bool
+	sendCond *Cond
+	recvCond *Cond
+}
+
+// NewChan returns a channel with the given buffer capacity.
+func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
+	return &Chan[T]{k: k, cap: capacity, sendCond: NewCond(k), recvCond: NewCond(k)}
+}
+
+// Send enqueues v, blocking while the buffer is full. Sending on a closed
+// channel panics.
+func (c *Chan[T]) Send(t *Thread, v T) {
+	for !c.closed && c.cap > 0 && len(c.buf) >= c.cap {
+		c.sendCond.Wait(t, "chan send (full)")
+	}
+	if c.closed {
+		panic("sim: send on closed Chan")
+	}
+	c.buf = append(c.buf, v)
+	c.recvCond.Signal()
+	if c.cap == 0 {
+		// Rendezvous: wait until a receiver takes the value.
+		for len(c.buf) > 0 && !c.closed {
+			c.sendCond.Wait(t, "chan send (rendezvous)")
+		}
+	}
+}
+
+// Recv dequeues a value, blocking while the channel is empty. The second
+// result is false if the channel is closed and drained.
+func (c *Chan[T]) Recv(t *Thread) (T, bool) {
+	for len(c.buf) == 0 && !c.closed {
+		c.recvCond.Wait(t, "chan recv (empty)")
+	}
+	if len(c.buf) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := c.buf[0]
+	copy(c.buf, c.buf[1:])
+	c.buf = c.buf[:len(c.buf)-1]
+	c.sendCond.Signal()
+	return v, true
+}
+
+// Len returns the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Close marks the channel closed, waking all waiters.
+func (c *Chan[T]) Close() {
+	c.closed = true
+	c.sendCond.Broadcast()
+	c.recvCond.Broadcast()
+}

@@ -1,0 +1,297 @@
+package stack
+
+import (
+	"rootreplay/internal/sim"
+	"rootreplay/internal/trace"
+	"rootreplay/internal/vfs"
+)
+
+// aliases maps traced call names (platform variants, 64-bit suffixes,
+// *at forms) to the canonical names the dispatcher implements. Together
+// with the canonical set this gives the model its 80+ supported calls.
+var aliases = map[string]string{
+	"open64":              "open",
+	"openat":              "open",
+	"creat64":             "creat",
+	"stat64":              "stat",
+	"statx":               "stat",
+	"newfstatat":          "stat",
+	"fstatat":             "stat",
+	"lstat64":             "lstat",
+	"fstat64":             "fstat",
+	"pread64":             "pread",
+	"pwrite64":            "pwrite",
+	"preadv":              "pread",
+	"pwritev":             "pwrite",
+	"readv":               "read",
+	"writev":              "write",
+	"lseek64":             "lseek",
+	"llseek":              "lseek",
+	"_llseek":             "lseek",
+	"truncate64":          "truncate",
+	"ftruncate64":         "ftruncate",
+	"mkdirat":             "mkdir",
+	"unlinkat":            "unlink",
+	"renameat":            "rename",
+	"renameat2":           "rename",
+	"linkat":              "link",
+	"symlinkat":           "symlink",
+	"readlinkat":          "readlink",
+	"faccessat":           "access",
+	"fchmodat":            "chmod",
+	"fchownat":            "chown",
+	"lchown":              "chown",
+	"fchown":              "chown_fd",
+	"utimensat":           "utimes",
+	"futimes":             "utimes_fd",
+	"utime":               "utimes",
+	"getdents64":          "getdents",
+	"getdirentries":       "getdents",
+	"getdirentries64":     "getdents",
+	"statfs64":            "statfs",
+	"fstatfs64":           "fstatfs",
+	"posix_fadvise":       "fadvise",
+	"fadvise64":           "fadvise",
+	"posix_fallocate":     "fallocate",
+	"mmap2":               "mmap",
+	"extattr_get_file":    "getxattr",
+	"extattr_set_file":    "setxattr",
+	"extattr_list_file":   "listxattr",
+	"extattr_delete_file": "removexattr",
+	"aio_read64":          "aio_read",
+	"aio_write64":         "aio_write",
+	"exchangedata64":      "exchangedata",
+}
+
+// Canonical returns the canonical name for a traced call.
+func Canonical(call string) string {
+	if c, ok := aliases[call]; ok {
+		return c
+	}
+	return call
+}
+
+// canonicalCalls is the set of calls Apply implements.
+var canonicalCalls = []string{
+	"open", "creat", "close", "read", "write", "pread", "pwrite", "lseek",
+	"fsync", "fdatasync", "sync", "dup", "dup2", "fcntl", "ftruncate",
+	"truncate", "fadvise", "fallocate", "mmap", "munmap", "msync",
+	"stat", "lstat", "fstat", "access", "mkdir", "rmdir", "unlink",
+	"rename", "link", "symlink", "readlink", "chmod", "fchmod", "chown",
+	"chown_fd", "utimes", "utimes_fd", "chdir", "fchdir", "getdents",
+	"statfs", "fstatfs",
+	"getxattr", "lgetxattr", "setxattr", "lsetxattr", "listxattr",
+	"llistxattr", "removexattr", "lremovexattr",
+	"fgetxattr", "fsetxattr", "flistxattr", "fremovexattr",
+	"getattrlist", "setattrlist", "getdirentriesattr", "exchangedata",
+	"fsctl", "searchfs", "vfsconf",
+	"aio_read", "aio_write", "aio_error", "aio_return", "aio_suspend",
+}
+
+// Supported reports whether the model can execute the (possibly aliased)
+// call name.
+func Supported(call string) bool {
+	c := Canonical(call)
+	for _, k := range canonicalCalls {
+		if k == c {
+			return true
+		}
+	}
+	return false
+}
+
+// SupportedCallCount returns the number of distinct traced call names
+// the model accepts (canonical + aliases).
+func SupportedCallCount() int { return len(canonicalCalls) + len(aliases) }
+
+// osxOnly lists calls that exist only on the OS X surface; everything
+// else canonical is treated per the rules in Native.
+var osxOnly = map[string]bool{
+	"getattrlist":       true,
+	"setattrlist":       true,
+	"getdirentriesattr": true,
+	"exchangedata":      true,
+	"fsctl":             true,
+	"searchfs":          true,
+	"vfsconf":           true,
+}
+
+// xattrCalls lists the flat xattr call family, native on platforms per
+// Native.
+var xattrCalls = map[string]bool{
+	"getxattr": true, "lgetxattr": true, "setxattr": true, "lsetxattr": true,
+	"listxattr": true, "llistxattr": true, "removexattr": true,
+	"lremovexattr": true, "fgetxattr": true, "fsetxattr": true,
+	"flistxattr": true, "fremovexattr": true,
+}
+
+// Native reports whether the canonical call is part of the platform's
+// native syscall surface; non-native calls must be emulated by the
+// replayer (§4.3.4).
+func Native(p Platform, call string) bool {
+	c := Canonical(call)
+	if osxOnly[c] {
+		return p == OSX
+	}
+	switch c {
+	case "fallocate":
+		return p == Linux
+	case "fadvise":
+		return p == Linux || p == FreeBSD || p == Illumos
+	}
+	if xattrCalls[c] {
+		// FreeBSD uses extattr_*; Illumos has no flat xattr calls.
+		return p == Linux || p == OSX || p == FreeBSD
+	}
+	return true
+}
+
+// Apply executes the call described by rec against the system on behalf
+// of thread t, returning the result. The replayer uses Apply after
+// rewriting rec's arguments (fd remapping, path prefixing, emulation).
+func (s *System) Apply(t *sim.Thread, rec *trace.Record) (int64, vfs.Errno) {
+	switch Canonical(rec.Call) {
+	case "open":
+		return s.Open(t, rec.Path, rec.Flags, rec.Mode)
+	case "creat":
+		return s.Creat(t, rec.Path, rec.Mode)
+	case "close":
+		return s.Close(t, rec.FD)
+	case "read":
+		return s.Read(t, rec.FD, rec.Size)
+	case "write":
+		return s.Write(t, rec.FD, rec.Size)
+	case "pread":
+		return s.Pread(t, rec.FD, rec.Size, rec.Offset)
+	case "pwrite":
+		return s.Pwrite(t, rec.FD, rec.Size, rec.Offset)
+	case "lseek":
+		return s.Lseek(t, rec.FD, rec.Offset, rec.Whence)
+	case "fsync":
+		return s.Fsync(t, rec.FD)
+	case "fdatasync":
+		return s.Fdatasync(t, rec.FD)
+	case "sync":
+		return s.SyncSys(t)
+	case "dup":
+		return s.Dup(t, rec.FD)
+	case "dup2":
+		return s.Dup2(t, rec.FD, rec.FD2)
+	case "fcntl":
+		return s.Fcntl(t, rec.FD, rec.Name, rec.Offset)
+	case "ftruncate":
+		return s.Ftruncate(t, rec.FD, rec.Size)
+	case "truncate":
+		return s.Truncate(t, rec.Path, rec.Size)
+	case "fadvise":
+		return s.Fadvise(t, rec.FD, rec.Offset, rec.Size, rec.Name)
+	case "fallocate":
+		return s.Fallocate(t, rec.FD, rec.Offset, rec.Size)
+	case "mmap":
+		return s.Mmap(t, rec.FD, rec.Offset, rec.Size)
+	case "munmap":
+		return s.Munmap(t, rec.Offset, rec.Size)
+	case "msync":
+		return s.Msync(t, rec.Offset, rec.Size)
+	case "stat":
+		return s.Stat(t, rec.Path)
+	case "lstat":
+		return s.Lstat(t, rec.Path)
+	case "fstat":
+		return s.Fstat(t, rec.FD)
+	case "access":
+		return s.Access(t, rec.Path, rec.Mode)
+	case "mkdir":
+		return s.Mkdir(t, rec.Path, rec.Mode)
+	case "rmdir":
+		return s.Rmdir(t, rec.Path)
+	case "unlink":
+		return s.Unlink(t, rec.Path)
+	case "rename":
+		return s.Rename(t, rec.Path, rec.Path2)
+	case "link":
+		return s.Link(t, rec.Path, rec.Path2)
+	case "symlink":
+		return s.Symlink(t, rec.Path, rec.Path2)
+	case "readlink":
+		return s.Readlink(t, rec.Path)
+	case "chmod":
+		return s.Chmod(t, rec.Path, rec.Mode)
+	case "fchmod":
+		return s.Fchmod(t, rec.FD, rec.Mode)
+	case "chown":
+		return s.Chown(t, rec.Path)
+	case "chown_fd":
+		if _, err := s.fd(rec.FD); err != vfs.OK {
+			return -1, err
+		}
+		return 0, vfs.OK
+	case "utimes":
+		return s.Utimes(t, rec.Path)
+	case "utimes_fd":
+		if _, err := s.fd(rec.FD); err != vfs.OK {
+			return -1, err
+		}
+		return 0, vfs.OK
+	case "chdir":
+		return s.Chdir(t, rec.Path)
+	case "fchdir":
+		return s.Fchdir(t, rec.FD)
+	case "getdents":
+		return s.Getdents(t, rec.FD, rec.Size)
+	case "statfs":
+		return s.Statfs(t, rec.Path)
+	case "fstatfs":
+		return s.Fstatfs(t, rec.FD)
+	case "getxattr":
+		return s.Getxattr(t, rec.Path, rec.Name, true)
+	case "lgetxattr":
+		return s.Getxattr(t, rec.Path, rec.Name, false)
+	case "setxattr":
+		return s.Setxattr(t, rec.Path, rec.Name, rec.Size, true)
+	case "lsetxattr":
+		return s.Setxattr(t, rec.Path, rec.Name, rec.Size, false)
+	case "listxattr":
+		return s.Listxattr(t, rec.Path, true)
+	case "llistxattr":
+		return s.Listxattr(t, rec.Path, false)
+	case "removexattr":
+		return s.Removexattr(t, rec.Path, rec.Name, true)
+	case "lremovexattr":
+		return s.Removexattr(t, rec.Path, rec.Name, false)
+	case "fgetxattr":
+		return s.Fgetxattr(t, rec.FD, rec.Name)
+	case "fsetxattr":
+		return s.Fsetxattr(t, rec.FD, rec.Name, rec.Size)
+	case "flistxattr":
+		return s.Flistxattr(t, rec.FD)
+	case "fremovexattr":
+		return s.Fremovexattr(t, rec.FD, rec.Name)
+	case "getattrlist":
+		return s.Getattrlist(t, rec.Path, rec.Name)
+	case "setattrlist":
+		return s.Setattrlist(t, rec.Path, rec.Name)
+	case "getdirentriesattr":
+		return s.Getdirentriesattr(t, rec.FD, rec.Size)
+	case "exchangedata":
+		return s.Exchangedata(t, rec.Path, rec.Path2)
+	case "fsctl":
+		return s.Fsctl(t, rec.Path)
+	case "searchfs":
+		return s.Searchfs(t, rec.Path)
+	case "vfsconf":
+		return s.Vfsconf(t, rec.Path)
+	case "aio_read":
+		return s.AioRead(t, rec.FD, rec.Size, rec.Offset)
+	case "aio_write":
+		return s.AioWrite(t, rec.FD, rec.Size, rec.Offset)
+	case "aio_error":
+		return s.AioError(t, rec.AIO)
+	case "aio_return":
+		return s.AioReturn(t, rec.AIO)
+	case "aio_suspend":
+		return s.AioSuspend(t, rec.AIO)
+	default:
+		return -1, vfs.ENOTSUP
+	}
+}

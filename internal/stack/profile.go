@@ -1,0 +1,101 @@
+package stack
+
+import "time"
+
+// Platform names a source/target operating system's syscall surface.
+// ARTC compiles traces from any platform and replays on any platform,
+// emulating calls the target lacks (§4.3.4).
+type Platform string
+
+// Supported platforms.
+const (
+	Linux   Platform = "linux"
+	OSX     Platform = "osx"
+	FreeBSD Platform = "freebsd"
+	Illumos Platform = "illumos"
+)
+
+// FSProfile models the behavioural differences between file systems that
+// matter to the paper's macrobenchmarks: how expensive fsync is, whether
+// fsync drags unrelated dirty data with it (ext3's data=ordered mode),
+// how contiguously files are laid out, and what an fsync means on the
+// platform (Linux forces media; OS X only flushes to the device cache
+// unless F_FULLFSYNC is used).
+type FSProfile struct {
+	// Name identifies the profile: "ext4", "ext3", "xfs", "jfs", "hfs+".
+	Name string
+	// JournalBlocks is the number of journal blocks written per
+	// transaction commit (fsync or metadata-heavy operation).
+	JournalBlocks int
+	// JournalCPU is the CPU cost of preparing a journal commit.
+	JournalCPU time.Duration
+	// OrderedData, when true, makes fsync flush all dirty data in the
+	// cache, not just the target file's (ext3 data=ordered behaviour).
+	OrderedData bool
+	// AllocGapBlocks is the gap the allocator leaves between files;
+	// larger gaps model weaker locality between related files.
+	AllocGapBlocks int64
+	// MetaCPU is the CPU cost of a metadata operation (stat, open path
+	// walk per component).
+	MetaCPU time.Duration
+	// FsyncIsBarrier, when false, models OS X fsync semantics: data is
+	// flushed to the device but may sit in its volatile cache, so no
+	// journal commit or media barrier is charged. fcntl(F_FULLFSYNC)
+	// always forces the barrier.
+	FsyncIsBarrier bool
+}
+
+// Profiles for the file systems in the paper's evaluation (§5.2.2).
+var (
+	Ext4 = FSProfile{
+		Name:           "ext4",
+		JournalBlocks:  8,
+		JournalCPU:     40 * time.Microsecond,
+		AllocGapBlocks: 64,
+		MetaCPU:        2 * time.Microsecond,
+		FsyncIsBarrier: true,
+	}
+	Ext3 = FSProfile{
+		Name:           "ext3",
+		JournalBlocks:  16,
+		JournalCPU:     60 * time.Microsecond,
+		OrderedData:    true,
+		AllocGapBlocks: 256,
+		MetaCPU:        2 * time.Microsecond,
+		FsyncIsBarrier: true,
+	}
+	XFS = FSProfile{
+		Name:           "xfs",
+		JournalBlocks:  4,
+		JournalCPU:     30 * time.Microsecond,
+		AllocGapBlocks: 32,
+		MetaCPU:        3 * time.Microsecond,
+		FsyncIsBarrier: true,
+	}
+	JFS = FSProfile{
+		Name:           "jfs",
+		JournalBlocks:  6,
+		JournalCPU:     50 * time.Microsecond,
+		AllocGapBlocks: 128,
+		MetaCPU:        3 * time.Microsecond,
+		FsyncIsBarrier: true,
+	}
+	HFSPlus = FSProfile{
+		Name:           "hfs+",
+		JournalBlocks:  8,
+		JournalCPU:     40 * time.Microsecond,
+		AllocGapBlocks: 96,
+		MetaCPU:        2 * time.Microsecond,
+		FsyncIsBarrier: false,
+	}
+)
+
+// ProfileByName returns the named profile, reporting whether it exists.
+func ProfileByName(name string) (FSProfile, bool) {
+	for _, p := range []FSProfile{Ext4, Ext3, XFS, JFS, HFSPlus} {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return FSProfile{}, false
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Trace-editing utilities: benchmark curation often needs to cut a trace
+// down to a window or a set of threads, or to merge traces for combined
+// replay (the multi-application scenario of §4.3.2).
+
+// FilterThreads returns a new trace containing only the records of the
+// given thread IDs, in the original order, renumbered.
+func (tr *Trace) FilterThreads(tids ...int) *Trace {
+	keep := make(map[int]bool, len(tids))
+	for _, t := range tids {
+		keep[t] = true
+	}
+	out := &Trace{Platform: tr.Platform}
+	for _, r := range tr.Records {
+		if keep[r.TID] {
+			cp := *r
+			out.Records = append(out.Records, &cp)
+		}
+	}
+	out.Renumber()
+	return out
+}
+
+// Window returns a new trace containing the records whose start times
+// fall in [from, to), rebased so the window begins at zero, renumbered.
+func (tr *Trace) Window(from, to time.Duration) *Trace {
+	out := &Trace{Platform: tr.Platform}
+	for _, r := range tr.Records {
+		if r.Start < from || r.Start >= to {
+			continue
+		}
+		cp := *r
+		cp.Start -= from
+		cp.End -= from
+		out.Records = append(out.Records, &cp)
+	}
+	out.Renumber()
+	return out
+}
+
+// Merge interleaves several traces into one by start time, remapping
+// thread IDs so different inputs never share a thread, and remapping
+// descriptor numbers into per-input ranges so a descriptor number used
+// by two inputs is not mistaken for a shared resource. Inputs must share
+// a platform; the result is renumbered.
+func Merge(traces ...*Trace) *Trace {
+	out := &Trace{}
+	const tidStride = 1000
+	const fdStride = 100000
+	for i, tr := range traces {
+		if out.Platform == "" {
+			out.Platform = tr.Platform
+		}
+		for _, r := range tr.Records {
+			cp := *r
+			cp.TID = r.TID + (i+1)*tidStride
+			// Remap descriptor arguments (0/1/2 are stdio and unused by
+			// the model; any nonzero fd is file I/O here).
+			if cp.FD != 0 {
+				cp.FD += int64(i+1) * fdStride
+			}
+			if cp.FD2 != 0 {
+				cp.FD2 += int64(i+1) * fdStride
+			}
+			if cp.Call == "open" || cp.Call == "creat" || cp.Call == "dup" {
+				if cp.Ret > 0 {
+					cp.Ret += int64(i+1) * fdStride
+				}
+			}
+			if cp.AIO != 0 {
+				cp.AIO += int64(i+1) * fdStride
+			}
+			out.Records = append(out.Records, &cp)
+		}
+	}
+	sort.SliceStable(out.Records, func(a, b int) bool {
+		return out.Records[a].Start < out.Records[b].Start
+	})
+	out.Renumber()
+	return out
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFilterThreads(t *testing.T) {
+	tr := sampleTrace()
+	only2 := tr.FilterThreads(2)
+	if len(only2.Records) != 3 {
+		t.Fatalf("records = %d, want 3", len(only2.Records))
+	}
+	for i, r := range only2.Records {
+		if r.TID != 2 {
+			t.Fatalf("record %d has TID %d", i, r.TID)
+		}
+		if r.Seq != int64(i) {
+			t.Fatalf("not renumbered: %d at %d", r.Seq, i)
+		}
+	}
+	// Original untouched.
+	if len(tr.Records) != 7 {
+		t.Fatal("original mutated")
+	}
+	if n := len(tr.FilterThreads(99).Records); n != 0 {
+		t.Fatalf("unknown tid kept %d records", n)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := sampleTrace() // starts at 1000ns..3400ns
+	w := tr.Window(2500, 3100)
+	// Records with Start in [2500, 3100): write(2500), stat(2550),
+	// rename(3000).
+	if len(w.Records) != 3 {
+		t.Fatalf("window records = %d, want 3", len(w.Records))
+	}
+	if w.Records[0].Start != 0 {
+		t.Fatalf("window not rebased: first start %v", w.Records[0].Start)
+	}
+	if w.Records[2].Start != 500*time.Nanosecond {
+		t.Fatalf("rebased start = %v", w.Records[2].Start)
+	}
+}
+
+func TestMergeDisjointThreadsAndFDs(t *testing.T) {
+	a := &Trace{Platform: "linux", Records: []*Record{
+		{TID: 1, Call: "open", Path: "/a", Ret: 3, Start: 0, End: 10},
+		{TID: 1, Call: "read", FD: 3, Size: 100, Ret: 100, Start: 20, End: 30},
+	}}
+	b := &Trace{Platform: "linux", Records: []*Record{
+		{TID: 1, Call: "open", Path: "/b", Ret: 3, Start: 5, End: 15},
+		{TID: 1, Call: "close", FD: 3, Ret: 0, Start: 25, End: 26},
+	}}
+	m := Merge(a, b)
+	if len(m.Records) != 4 {
+		t.Fatalf("merged records = %d", len(m.Records))
+	}
+	// Sorted by start: a.open(0), b.open(5), a.read(20), b.close(25).
+	if m.Records[0].Path != "/a" || m.Records[1].Path != "/b" {
+		t.Fatalf("merge order wrong: %v %v", m.Records[0].Path, m.Records[1].Path)
+	}
+	// Threads disjoint.
+	if m.Records[0].TID == m.Records[1].TID {
+		t.Fatal("thread collision after merge")
+	}
+	// Descriptor numbers disjoint: a's read fd != b's close fd.
+	if m.Records[2].FD == m.Records[3].FD {
+		t.Fatal("fd collision after merge")
+	}
+	// a's open return matches a's read fd.
+	if m.Records[0].Ret != m.Records[2].FD {
+		t.Fatalf("fd remap broke open/read pairing: %d vs %d", m.Records[0].Ret, m.Records[2].FD)
+	}
+	for i, r := range m.Records {
+		if r.Seq != int64(i) {
+			t.Fatal("merge not renumbered")
+		}
+	}
+}
+
+func TestMergePlatform(t *testing.T) {
+	a := &Trace{Platform: "osx", Records: []*Record{{TID: 1, Call: "sync"}}}
+	m := Merge(a)
+	if m.Platform != "osx" {
+		t.Fatalf("platform = %s", m.Platform)
+	}
+}

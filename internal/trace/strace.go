@@ -1,0 +1,527 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseStrace parses the output of `strace -f -ttt -T`, the standard
+// UNIX tracing tool ARTC supports for ease of benchmark creation (§4.1).
+// Expected line shapes:
+//
+//	1234 1679588291.123456 open("/a/b", O_RDONLY|O_CREAT, 0644) = 3 <0.000012>
+//	1234 1679588291.123456 read(3, "data"..., 4096) = 4096 <0.000040>
+//	1234 1679588291.123456 stat("/x", {st_mode=S_IFREG|0644, ...}) = -1 ENOENT (No such file) <0.000008>
+//	1234 1679588291.123456 write(5, ... <unfinished ...>
+//	1234 1679588291.125000 <... write resumed>) = 512 <0.001544>
+//
+// Unrecognized calls are skipped (strace traces far more than file I/O).
+// Timestamps are rebased so the earliest call starts at zero.
+func ParseStrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	tr := &Trace{Platform: "linux"}
+	// Pending unfinished call per TID.
+	pending := make(map[int]*straceCall)
+	lineNo := 0
+	var firstTS int64 = -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "+++") || strings.HasPrefix(line, "---") {
+			continue
+		}
+		tid, ts, rest, err := straceHeader(line)
+		if err != nil {
+			return nil, &ParseError{Line: lineNo, Text: line, Msg: err.Error()}
+		}
+		if firstTS < 0 {
+			firstTS = ts
+		}
+		if strings.HasPrefix(rest, "<...") {
+			// Resumption of an unfinished call.
+			p, ok := pending[tid]
+			if !ok {
+				continue // resumed call we never saw the start of
+			}
+			delete(pending, tid)
+			idx := strings.Index(rest, "resumed>")
+			if idx < 0 {
+				return nil, &ParseError{Line: lineNo, Text: line, Msg: "malformed resumed line"}
+			}
+			p.text += rest[idx+len("resumed>"):]
+			rec, err := p.finish(firstTS)
+			if err != nil {
+				return nil, &ParseError{Line: lineNo, Text: line, Msg: err.Error()}
+			}
+			if rec != nil {
+				tr.Records = append(tr.Records, rec)
+			}
+			continue
+		}
+		if strings.HasSuffix(rest, "<unfinished ...>") {
+			pending[tid] = &straceCall{
+				tid:  tid,
+				ts:   ts,
+				text: strings.TrimSuffix(rest, "<unfinished ...>"),
+			}
+			continue
+		}
+		call := &straceCall{tid: tid, ts: ts, text: rest}
+		rec, err := call.finish(firstTS)
+		if err != nil {
+			return nil, &ParseError{Line: lineNo, Text: line, Msg: err.Error()}
+		}
+		if rec != nil {
+			tr.Records = append(tr.Records, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	tr.Renumber()
+	return tr, nil
+}
+
+// straceHeader splits "[pid] timestamp rest" returning tid, the epoch
+// timestamp in integer nanoseconds, and the call text. The pid is
+// optional (no -f). The timestamp is parsed as integer seconds plus
+// fraction digits — float64 cannot hold epoch-seconds at microsecond
+// precision.
+func straceHeader(line string) (tid int, ts int64, rest string, err error) {
+	line = strings.TrimPrefix(line, "[pid ")
+	line = strings.Replace(line, "] ", " ", 1)
+	f1, r1, _ := strings.Cut(line, " ")
+	if t, err2 := strconv.Atoi(f1); err2 == nil {
+		// Leading pid present.
+		tid = t
+		line = strings.TrimSpace(r1)
+		f1, r1, _ = strings.Cut(line, " ")
+	} else {
+		tid = 1
+	}
+	ts, err = parseEpochNS(f1)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	return tid, ts, strings.TrimSpace(r1), nil
+}
+
+// parseEpochNS parses "1679588291.000400" into nanoseconds exactly.
+func parseEpochNS(s string) (int64, error) {
+	secS, fracS, _ := strings.Cut(s, ".")
+	secs, err := strconv.ParseInt(secS, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad timestamp %q", s)
+	}
+	ns := secs * int64(time.Second)
+	if fracS != "" {
+		if len(fracS) > 9 {
+			fracS = fracS[:9]
+		}
+		frac, err := strconv.ParseInt(fracS, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad timestamp %q", s)
+		}
+		for i := len(fracS); i < 9; i++ {
+			frac *= 10
+		}
+		ns += frac
+	}
+	return ns, nil
+}
+
+type straceCall struct {
+	tid  int
+	ts   int64 // epoch nanoseconds
+	text string
+}
+
+// finish parses the assembled call text into a Record; it returns
+// (nil, nil) for calls the model does not handle.
+func (c *straceCall) finish(base int64) (*Record, error) {
+	name, rest, ok := strings.Cut(c.text, "(")
+	if !ok {
+		return nil, fmt.Errorf("no opening paren")
+	}
+	name = strings.TrimSpace(name)
+	// Split args from result: find the closing paren that matches at
+	// depth 0, respecting quotes.
+	depth := 1
+	inQ := false
+	end := -1
+	for i := 0; i < len(rest); i++ {
+		ch := rest[i]
+		if inQ {
+			if ch == '\\' {
+				i++
+			} else if ch == '"' {
+				inQ = false
+			}
+			continue
+		}
+		switch ch {
+		case '"':
+			inQ = true
+		case '(', '{', '[':
+			depth++
+		case ')', '}', ']':
+			depth--
+			if depth == 0 && ch == ')' {
+				end = i
+			}
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		return nil, fmt.Errorf("unbalanced parens")
+	}
+	argstr := rest[:end]
+	result := strings.TrimSpace(rest[end+1:])
+
+	rec := &Record{TID: c.tid, Call: name}
+	rec.Start = time.Duration(c.ts - base)
+	// Result: "= ret [ERRNO (text)] [<dur>]".
+	result = strings.TrimPrefix(result, "=")
+	result = strings.TrimSpace(result)
+	var durS string
+	if i := strings.LastIndex(result, "<"); i >= 0 && strings.HasSuffix(result, ">") {
+		durS = result[i+1 : len(result)-1]
+		result = strings.TrimSpace(result[:i])
+	}
+	retTok, errPart, _ := strings.Cut(result, " ")
+	if retTok == "?" {
+		rec.Ret = 0
+	} else {
+		// Hex returns appear for mmap.
+		ret, err := strconv.ParseInt(retTok, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad return %q", retTok)
+		}
+		rec.Ret = ret
+	}
+	if rec.Ret == -1 && errPart != "" {
+		sym, _, _ := strings.Cut(strings.TrimSpace(errPart), " ")
+		rec.Err = sym
+	}
+	dur := time.Duration(0)
+	if durS != "" {
+		if secs, err := strconv.ParseFloat(durS, 64); err == nil {
+			dur = time.Duration(secs * float64(time.Second))
+		}
+	}
+	rec.End = rec.Start + dur
+
+	args := splitStraceArgs(argstr)
+	if err := assignStraceArgs(rec, name, args); err != nil {
+		if err == errSkipCall {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return rec, nil
+}
+
+// splitStraceArgs splits a comma-separated argument list, respecting
+// quotes and bracket nesting.
+func splitStraceArgs(s string) []string {
+	var out []string
+	depth := 0
+	inQ := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if inQ {
+			if ch == '\\' {
+				i++
+			} else if ch == '"' {
+				inQ = false
+			}
+			continue
+		}
+		switch ch {
+		case '"':
+			inQ = true
+		case '(', '{', '[':
+			depth++
+		case ')', '}', ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" {
+		out = append(out, last)
+	}
+	return out
+}
+
+var errSkipCall = fmt.Errorf("call not modelled")
+
+func unquoteStrace(s string) string {
+	s = strings.TrimSuffix(s, "...")
+	if u, err := strconv.Unquote(s); err == nil {
+		return u
+	}
+	return s
+}
+
+func parseIntArg(s string) int64 {
+	s = strings.TrimSpace(s)
+	// strace may annotate fds like "3</path/to/file>".
+	if i := strings.IndexByte(s, '<'); i > 0 {
+		s = s[:i]
+	}
+	n, _ := strconv.ParseInt(s, 0, 64)
+	return n
+}
+
+// parseOpenFlags converts "O_RDWR|O_CREAT" to bits.
+func parseOpenFlags(s string) OpenFlag {
+	var f OpenFlag
+	for _, tok := range strings.Split(s, "|") {
+		switch strings.TrimSpace(tok) {
+		case "O_RDONLY":
+		case "O_WRONLY":
+			f |= OWronly
+		case "O_RDWR":
+			f |= ORdwr
+		case "O_CREAT":
+			f |= OCreat
+		case "O_EXCL":
+			f |= OExcl
+		case "O_TRUNC":
+			f |= OTrunc
+		case "O_APPEND":
+			f |= OAppend
+		case "O_NONBLOCK", "O_NDELAY":
+			f |= ONonblock
+		case "O_DIRECTORY":
+			f |= ODir
+		case "O_NOFOLLOW":
+			f |= ONofollow
+		case "O_SYNC", "O_FSYNC":
+			f |= OSync
+		}
+	}
+	return f
+}
+
+// assignStraceArgs maps positional strace arguments onto Record fields
+// for each supported call.
+func assignStraceArgs(rec *Record, name string, args []string) error {
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s: want >=%d args, have %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "open", "open64":
+		if err := need(2); err != nil {
+			return err
+		}
+		rec.Path = unquoteStrace(args[0])
+		rec.Flags = parseOpenFlags(args[1])
+		if len(args) > 2 {
+			rec.Mode = uint32(parseIntArg(args[2]))
+		}
+		if rec.Ret > 0 {
+			rec.FD = rec.Ret
+		}
+	case "openat":
+		if err := need(3); err != nil {
+			return err
+		}
+		rec.Path = unquoteStrace(args[1])
+		rec.Flags = parseOpenFlags(args[2])
+		if len(args) > 3 {
+			rec.Mode = uint32(parseIntArg(args[3]))
+		}
+		if rec.Ret > 0 {
+			rec.FD = rec.Ret
+		}
+	case "creat":
+		if err := need(2); err != nil {
+			return err
+		}
+		rec.Path = unquoteStrace(args[0])
+		rec.Mode = uint32(parseIntArg(args[1]))
+	case "close", "fsync", "fdatasync", "fstat", "fstat64", "fchdir", "fstatfs", "flistxattr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rec.FD = parseIntArg(args[0])
+	case "read", "write":
+		if err := need(3); err != nil {
+			return err
+		}
+		rec.FD = parseIntArg(args[0])
+		rec.Size = parseIntArg(args[2])
+	case "pread", "pread64", "pwrite", "pwrite64":
+		if err := need(4); err != nil {
+			return err
+		}
+		rec.FD = parseIntArg(args[0])
+		rec.Size = parseIntArg(args[2])
+		rec.Offset = parseIntArg(args[3])
+	case "lseek", "_llseek", "llseek":
+		if err := need(3); err != nil {
+			return err
+		}
+		rec.FD = parseIntArg(args[0])
+		rec.Offset = parseIntArg(args[1])
+		switch strings.TrimSpace(args[2]) {
+		case "SEEK_SET":
+			rec.Whence = 0
+		case "SEEK_CUR":
+			rec.Whence = 1
+		case "SEEK_END":
+			rec.Whence = 2
+		}
+	case "stat", "stat64", "lstat", "lstat64", "access", "readlink", "statfs", "statfs64",
+		"rmdir", "unlink", "chdir", "listxattr", "llistxattr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rec.Path = unquoteStrace(args[0])
+	case "unlinkat":
+		if err := need(2); err != nil {
+			return err
+		}
+		rec.Path = unquoteStrace(args[1])
+	case "mkdir", "chmod":
+		if err := need(2); err != nil {
+			return err
+		}
+		rec.Path = unquoteStrace(args[0])
+		rec.Mode = uint32(parseIntArg(args[1]))
+	case "rename", "link", "symlink":
+		if err := need(2); err != nil {
+			return err
+		}
+		rec.Path = unquoteStrace(args[0])
+		rec.Path2 = unquoteStrace(args[1])
+	case "renameat", "renameat2", "linkat", "symlinkat":
+		if err := need(4); err != nil {
+			return err
+		}
+		rec.Path = unquoteStrace(args[1])
+		rec.Path2 = unquoteStrace(args[3])
+	case "truncate":
+		if err := need(2); err != nil {
+			return err
+		}
+		rec.Path = unquoteStrace(args[0])
+		rec.Size = parseIntArg(args[1])
+	case "ftruncate", "ftruncate64":
+		if err := need(2); err != nil {
+			return err
+		}
+		rec.FD = parseIntArg(args[0])
+		rec.Size = parseIntArg(args[1])
+	case "dup":
+		if err := need(1); err != nil {
+			return err
+		}
+		rec.FD = parseIntArg(args[0])
+	case "dup2", "dup3":
+		if err := need(2); err != nil {
+			return err
+		}
+		rec.FD = parseIntArg(args[0])
+		rec.FD2 = parseIntArg(args[1])
+	case "fcntl", "fcntl64":
+		if err := need(2); err != nil {
+			return err
+		}
+		rec.Call = "fcntl"
+		rec.FD = parseIntArg(args[0])
+		rec.Name = strings.TrimSpace(args[1])
+		if len(args) > 2 {
+			rec.Offset = parseIntArg(args[2])
+		}
+	case "getdents", "getdents64", "getdirentries":
+		if err := need(1); err != nil {
+			return err
+		}
+		rec.FD = parseIntArg(args[0])
+		rec.Size = rec.Ret
+	case "getxattr", "lgetxattr", "setxattr", "lsetxattr", "removexattr", "lremovexattr":
+		if err := need(2); err != nil {
+			return err
+		}
+		rec.Path = unquoteStrace(args[0])
+		rec.Name = unquoteStrace(args[1])
+		if strings.HasPrefix(name, "setxattr") || strings.HasPrefix(name, "lsetxattr") {
+			if len(args) > 3 {
+				rec.Size = parseIntArg(args[3])
+			}
+		}
+	case "fgetxattr", "fsetxattr", "fremovexattr":
+		if err := need(2); err != nil {
+			return err
+		}
+		rec.FD = parseIntArg(args[0])
+		rec.Name = unquoteStrace(args[1])
+		if name == "fsetxattr" && len(args) > 3 {
+			rec.Size = parseIntArg(args[3])
+		}
+	case "fadvise64", "posix_fadvise":
+		if err := need(4); err != nil {
+			return err
+		}
+		rec.Call = "fadvise"
+		rec.FD = parseIntArg(args[0])
+		rec.Offset = parseIntArg(args[1])
+		rec.Size = parseIntArg(args[2])
+		rec.Name = strings.TrimSpace(args[3])
+	case "fallocate":
+		if err := need(4); err != nil {
+			return err
+		}
+		rec.FD = parseIntArg(args[0])
+		rec.Offset = parseIntArg(args[2])
+		rec.Size = parseIntArg(args[3])
+	case "mmap", "mmap2":
+		if err := need(6); err != nil {
+			return err
+		}
+		// mmap(addr, length, prot, flags, fd, offset); anonymous
+		// mappings are not file I/O.
+		fd := parseIntArg(args[4])
+		if fd < 0 {
+			return errSkipCall
+		}
+		rec.Call = "mmap"
+		rec.FD = fd
+		rec.Size = parseIntArg(args[1])
+		rec.Offset = parseIntArg(args[5])
+	case "munmap":
+		if err := need(2); err != nil {
+			return err
+		}
+		rec.Offset = parseIntArg(args[0])
+		rec.Size = parseIntArg(args[1])
+	case "msync":
+		if err := need(2); err != nil {
+			return err
+		}
+		rec.Offset = parseIntArg(args[0])
+		rec.Size = parseIntArg(args[1])
+	case "sync":
+	default:
+		return errSkipCall
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"rootreplay/internal/artc"
+	"rootreplay/internal/core"
+	"rootreplay/internal/sim"
+	"rootreplay/internal/stack"
+)
+
+func hddConf() stack.Config {
+	c := stack.DefaultConfig()
+	c.CachePages = 1 << 16 // 256 MiB: small against the 1 GiB files
+	return c
+}
+
+func TestRandomReadersRuns(t *testing.T) {
+	w := &RandomReaders{Threads: 2, ReadsPerThread: 50, FileBytes: 1 << 30, Seed: 1}
+	elapsed, err := Run(hddConf(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+// The headline feedback effect of Figure 5(a): more threads means deeper
+// queues means better per-request service; total time grows sublinearly
+// in total work.
+func TestParallelismSublinearSlowdown(t *testing.T) {
+	perThread := 200
+	run := func(threads int) time.Duration {
+		w := &RandomReaders{Threads: threads, ReadsPerThread: perThread, FileBytes: 1 << 30, Seed: 9}
+		d, err := Run(hddConf(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	one := run(1)
+	eight := run(8)
+	ratio := float64(eight) / float64(one)
+	if ratio >= 8.0 {
+		t.Fatalf("8 threads did 8x work in %.1fx time; no queue-depth benefit", ratio)
+	}
+	if ratio < 1.5 {
+		t.Fatalf("8x work took only %.1fx time; device model too parallel", ratio)
+	}
+}
+
+// End-to-end replay accuracy, Figure 5(a) shape: ARTC tracks the
+// original closely; single-threaded replay overestimates badly.
+func TestFig5aShape(t *testing.T) {
+	w := &RandomReaders{Threads: 8, ReadsPerThread: 100, FileBytes: 1 << 30, Seed: 5}
+	tr, snap, _, err := TraceWorkload(hddConf(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := Run(hddConf(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayWith := func(m artc.Method) time.Duration {
+		b, err := artc.Compile(tr, snap, core.DefaultModes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := sim.NewKernel()
+		sys := stack.New(k, hddConf())
+		if err := artc.Init(sys, b, ""); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := artc.Replay(sys, b, artc.Options{Method: m, SelfCheck: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Errors != 0 {
+			t.Fatalf("%s replay errors: %v", m, rep.ErrorSamples)
+		}
+		return rep.Elapsed
+	}
+	artcT := replayWith(artc.MethodARTC)
+	singleT := replayWith(artc.MethodSingle)
+
+	artcErr := relErr(artcT, orig)
+	singleErr := relErr(singleT, orig)
+	t.Logf("orig=%v artc=%v (%.1f%%) single=%v (%.1f%%)", orig, artcT, artcErr*100, singleT, singleErr*100)
+	if artcErr > 0.25 {
+		t.Errorf("ARTC error %.1f%% too large", artcErr*100)
+	}
+	if singleT <= artcT {
+		t.Error("single-threaded replay should be slower than ARTC on a parallel workload")
+	}
+	if singleErr < 2*artcErr {
+		t.Errorf("expected single (%.1f%%) to be much worse than ARTC (%.1f%%)", singleErr*100, artcErr*100)
+	}
+}
+
+func relErr(got, want time.Duration) float64 {
+	d := float64(got-want) / float64(want)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+func TestCacheReadersRuns(t *testing.T) {
+	w := &CacheReaders{ReadsPerThread: 100, FileBytes: 64 << 20, Seed: 3}
+	conf := hddConf()
+	conf.CachePages = 1 << 15 // 128 MiB
+	d, err := Run(conf, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+// Cache-size feedback: with a cache covering both files, thread 1's
+// random reads all hit; the run must be much faster than with a small
+// cache.
+func TestCacheSizeEffect(t *testing.T) {
+	w := &CacheReaders{ReadsPerThread: 300, FileBytes: 64 << 20, Seed: 3}
+	run := func(pages int64) time.Duration {
+		conf := hddConf()
+		conf.CachePages = pages
+		d, err := Run(conf, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	big := run(1 << 16)   // 256 MiB: both files fit
+	small := run(1 << 13) // 32 MiB: f1 does not stay cached
+	if float64(big) > 0.8*float64(small) {
+		t.Fatalf("large cache (%v) not much faster than small (%v)", big, small)
+	}
+}
+
+func TestSeqCompetitorsSliceEffect(t *testing.T) {
+	w := &SeqCompetitors{ReadsPerThread: 2000, FileBytes: 256 << 20}
+	run := func(slice time.Duration) time.Duration {
+		conf := hddConf()
+		conf.SliceSync = slice
+		d, err := Run(conf, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	long := run(100 * time.Millisecond)
+	short := run(1 * time.Millisecond)
+	if long >= short {
+		t.Fatalf("100ms slice (%v) not faster than 1ms slice (%v)", long, short)
+	}
+	if float64(short)/float64(long) < 1.5 {
+		t.Fatalf("slice effect too weak: %v vs %v", long, short)
+	}
+}
+
+func TestTraceWorkloadProducesTrace(t *testing.T) {
+	w := &RandomReaders{Threads: 2, ReadsPerThread: 10, FileBytes: 16 << 20, Seed: 2}
+	tr, snap, elapsed, err := TraceWorkload(hddConf(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 opens + 20 preads + 2 closes.
+	if len(tr.Records) != 24 {
+		t.Fatalf("trace has %d records", len(tr.Records))
+	}
+	if len(tr.Threads()) != 2 {
+		t.Fatalf("threads = %v", tr.Threads())
+	}
+	if elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	foundFile := false
+	for _, e := range snap.Entries {
+		if e.Path == "/bench/rr/file0" && e.Size == 16<<20 {
+			foundFile = true
+		}
+	}
+	if !foundFile {
+		t.Fatal("snapshot missing workload file")
+	}
+}
