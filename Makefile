@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet bench perfstat ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'Compile' -benchtime 1x -benchmem .
+
+perfstat:
+	$(GO) run ./cmd/perfstat -o BENCH_pr1.json
+
+ci:
+	./scripts/ci.sh

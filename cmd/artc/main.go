@@ -255,7 +255,8 @@ func inspectCmd(args []string) error {
 	fmt.Printf("records:       %d\n", len(b.Trace.Records))
 	fmt.Printf("threads:       %d\n", len(b.Trace.Threads()))
 	fmt.Printf("snapshot:      %d entries\n", len(b.Snapshot.Entries))
-	fmt.Printf("artc edges:    %d (mean span %v, max %v)\n", st.Edges, st.MeanLength, st.MaxLength)
+	fmt.Printf("artc edges:    %d enforced of %d raw (mean span %v, max %v)\n",
+		st.Edges, st.Edges+st.ReducedEdges, st.MeanLength, st.MaxLength)
 	fmt.Printf("temporal edges: %d (mean span %v)\n", tst.Edges, tst.MeanLength)
 	fmt.Printf("warnings:      %d\n", len(b.Analysis.Warnings))
 	return nil

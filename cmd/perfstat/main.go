@@ -1,0 +1,113 @@
+// Command perfstat measures the compiler and replayer hot path on a
+// fixed mid-size Magritte trace and writes a small JSON record —
+// records/sec through Compile plus dependency-graph edge counts — so
+// the perf trajectory of the repo can be tracked across revisions
+// (scripts/ci.sh appends it as BENCH_<tag>.json).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rootreplay/internal/artc"
+	"rootreplay/internal/core"
+	"rootreplay/internal/magritte"
+)
+
+// Stats is the serialized measurement.
+type Stats struct {
+	Trace   string  `json:"trace"`
+	Scale   float64 `json:"scale"`
+	Records int     `json:"records"`
+	// Compile throughput.
+	CompileIters     int     `json:"compile_iters"`
+	CompileNsPerOp   int64   `json:"compile_ns_per_op"`
+	RecordsPerSecond float64 `json:"records_per_second"`
+	// Dependency-graph structure of the compiled benchmark.
+	RawEdges      int `json:"raw_edges"`
+	EnforcedEdges int `json:"enforced_edges"`
+	ReducedEdges  int `json:"reduced_edges"`
+	TemporalEdges int `json:"temporal_edges"`
+	// Replay wall time (host) for one ARTC replay of the benchmark.
+	ReplayNs int64 `json:"replay_ns"`
+
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pr1.json", "output JSON path")
+	name := flag.String("trace", "pages_docphoto15", "magritte trace name")
+	scale := flag.Float64("scale", 0.02, "magritte generation scale")
+	iters := flag.Int("iters", 5, "compile iterations to average")
+	flag.Parse()
+
+	spec, ok := magritte.SpecByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "perfstat: unknown trace %q\n", *name)
+		os.Exit(1)
+	}
+	gen, err := magritte.Generate(spec, magritte.GenOptions{Scale: *scale, Seed: 5})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat:", err)
+		os.Exit(1)
+	}
+
+	var b *artc.Benchmark
+	t0 := time.Now()
+	for i := 0; i < *iters; i++ {
+		b, err = artc.Compile(gen.Trace, gen.Snapshot, core.DefaultModes())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfstat:", err)
+			os.Exit(1)
+		}
+	}
+	perOp := time.Since(t0).Nanoseconds() / int64(*iters)
+
+	st := Stats{
+		Trace:          *name,
+		Scale:          *scale,
+		Records:        len(gen.Trace.Records),
+		CompileIters:   *iters,
+		CompileNsPerOp: perOp,
+		RawEdges:       len(b.Graph.Edges) + b.Graph.ReducedEdges,
+		EnforcedEdges:  len(b.Graph.Edges),
+		ReducedEdges:   b.Graph.ReducedEdges,
+		TemporalEdges:  len(core.TemporalGraph(b.Analysis).Edges),
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+	}
+	if perOp > 0 {
+		st.RecordsPerSecond = float64(st.Records) / (float64(perOp) / 1e9)
+	}
+
+	rt0 := time.Now()
+	if _, _, err := magritte.ThreadTimeRun(b, magritte.DefaultSuiteOptions().Target, true); err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat: replay:", err)
+		os.Exit(1)
+	}
+	st.ReplayNs = time.Since(rt0).Nanoseconds()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(st); err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("perfstat: %d records, compile %.2f ms (%.0f records/s), edges raw=%d enforced=%d temporal=%d -> %s\n",
+		st.Records, float64(perOp)/1e6, st.RecordsPerSecond,
+		st.RawEdges, st.EnforcedEdges, st.TemporalEdges, *out)
+}

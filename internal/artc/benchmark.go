@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"rootreplay/internal/core"
 	"rootreplay/internal/snapshot"
@@ -40,8 +41,40 @@ type Benchmark struct {
 	// Analysis and Graph are the compiler's outputs: resource touch sets
 	// and the ARTC dependency graph.
 	Analysis *core.Analysis
-	// Graph holds the ARTC (resource-ordering) dependency edges.
+	// Graph holds the ARTC (resource-ordering) dependency edges, after
+	// transitive reduction.
 	Graph *core.Graph
+	// touches is the per-action FD/AIO touch plan Compile precomputes so
+	// the replayer's per-action path need not scan touch lists (nil for
+	// hand-built benchmarks; the replayer falls back to scanning).
+	touches []actionTouches
+
+	// memoMu guards memo, the per-ModeSet graph cache GraphFor fills for
+	// replay-time mode overrides (ablation sweeps rebuild the same few
+	// graphs over and over).
+	memoMu sync.Mutex
+	memo   map[core.ModeSet]*core.Graph
+}
+
+// GraphFor returns the dependency graph for the given mode set, building
+// (and transitively reducing) it on first use and memoizing it on the
+// benchmark. The compile-time mode set is answered from Benchmark.Graph.
+// Safe for concurrent use.
+func (b *Benchmark) GraphFor(modes core.ModeSet) *core.Graph {
+	if modes == b.Modes && b.Graph != nil {
+		return b.Graph
+	}
+	b.memoMu.Lock()
+	defer b.memoMu.Unlock()
+	if g, ok := b.memo[modes]; ok {
+		return g
+	}
+	g := core.BuildGraph(b.Analysis, modes).Reduce(b.Analysis)
+	if b.memo == nil {
+		b.memo = make(map[core.ModeSet]*core.Graph)
+	}
+	b.memo[modes] = g
+	return g
 }
 
 // Compile builds a benchmark from a trace and snapshot under the given
@@ -71,7 +104,8 @@ func Compile(tr *trace.Trace, snap *snapshot.Snapshot, modes core.ModeSet) (*Ben
 		Trace:    tr,
 		Snapshot: snap,
 		Analysis: an,
-		Graph:    g,
+		Graph:    g.Reduce(an),
+		touches:  planTouches(an),
 	}, nil
 }
 

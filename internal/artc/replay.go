@@ -124,14 +124,20 @@ type replayState struct {
 	opts Options
 	g    *core.Graph
 
-	issued, done []bool
-	issueAt      []time.Duration
-	doneAt       []time.Duration
-	conds        []*sim.Cond
-	fdMap        map[core.ResourceID]int64
-	aioMap       map[core.ResourceID]int64
-	predelay     []time.Duration
-	start        time.Duration
+	// remaining[i] counts action i's unsatisfied dependency edges: it
+	// starts at the graph indegree and is decremented once per edge when
+	// the edge's From issues (WaitIssue) or completes (WaitComplete).
+	// The decrement that reaches zero signals conds[i] exactly once, so
+	// a blocked action wakes once instead of re-scanning its dependency
+	// list on every predecessor broadcast.
+	remaining []int32
+	issueAt   []time.Duration
+	doneAt    []time.Duration
+	conds     []*sim.Cond
+	fdMap     map[core.ResourceID]int64
+	aioMap    map[core.ResourceID]int64
+	predelay  []time.Duration
+	start     time.Duration
 
 	rep *Report
 }
@@ -198,7 +204,7 @@ func start(sys *stack.System, b *Benchmark, opts Options) (*replayState, error) 
 		opts.Method = MethodARTC
 		g = b.Graph
 		if opts.Modes != nil {
-			g = core.BuildGraph(b.Analysis, *opts.Modes)
+			g = b.GraphFor(*opts.Modes)
 		}
 	case MethodTemporal:
 		g = core.TemporalGraph(b.Analysis)
@@ -207,20 +213,23 @@ func start(sys *stack.System, b *Benchmark, opts Options) (*replayState, error) 
 	default:
 		return nil, fmt.Errorf("artc: unknown replay method %q", opts.Method)
 	}
+	remaining := make([]int32, n)
+	for i, d := range g.Indegree {
+		remaining[i] = int32(d)
+	}
 	rs := &replayState{
-		sys:      sys,
-		b:        b,
-		opts:     opts,
-		g:        g,
-		issued:   make([]bool, n),
-		done:     make([]bool, n),
-		issueAt:  make([]time.Duration, n),
-		doneAt:   make([]time.Duration, n),
-		conds:    make([]*sim.Cond, n),
-		fdMap:    make(map[core.ResourceID]int64),
-		aioMap:   make(map[core.ResourceID]int64),
-		predelay: computePredelay(b.Trace),
-		start:    sys.K.Now(),
+		sys:       sys,
+		b:         b,
+		opts:      opts,
+		g:         g,
+		remaining: remaining,
+		issueAt:   make([]time.Duration, n),
+		doneAt:    make([]time.Duration, n),
+		conds:     make([]*sim.Cond, n),
+		fdMap:     make(map[core.ResourceID]int64),
+		aioMap:    make(map[core.ResourceID]int64),
+		predelay:  computePredelay(b.Trace),
+		start:     sys.K.Now(),
 		rep: &Report{
 			Method:    opts.Method,
 			Actions:   n,
@@ -299,20 +308,39 @@ func (rs *replayState) condOf(i int) *sim.Cond {
 	return rs.conds[i]
 }
 
-// playAction waits for the action's dependencies, applies predelay, and
-// executes it, broadcasting issue and completion.
-func (rs *replayState) playAction(t *sim.Thread, idx int) {
+// depSatisfied records that one of to's dependency edges is satisfied;
+// the decrement that empties the counter wakes to's replay thread, if it
+// is already parked on the action.
+func (rs *replayState) depSatisfied(to int) {
+	rs.remaining[to]--
+	if rs.remaining[to] == 0 && rs.conds[to] != nil {
+		rs.conds[to].Signal()
+	}
+}
+
+// waitReason describes why action idx is blocked; it is only rendered
+// for deadlock reports, never on the replay fast path.
+func (rs *replayState) waitReason(idx int) string {
+	// Predecessors that have not issued yet still hold a zero issueAt;
+	// naming one of them is enough to make a deadlock report actionable.
 	for _, ei := range rs.g.Deps[idx] {
 		e := rs.g.Edges[ei]
-		for {
-			satisfied := rs.done[e.From]
-			if e.Kind == core.WaitIssue {
-				satisfied = rs.issued[e.From]
-			}
-			if satisfied {
-				break
-			}
-			rs.condOf(e.From).Wait(t, fmt.Sprintf("dep on action %d (%s)", e.From, e.Res))
+		if rs.issueAt[e.From] == 0 && rs.doneAt[e.From] == 0 {
+			return fmt.Sprintf("action %d: %d dep(s) left, e.g. on action %d (%s)",
+				idx, rs.remaining[idx], e.From, e.Res)
+		}
+	}
+	return fmt.Sprintf("action %d: %d dep(s) left", idx, rs.remaining[idx])
+}
+
+// playAction waits for the action's dependency count to drain, applies
+// predelay, and executes it, releasing successor edges at issue and
+// completion.
+func (rs *replayState) playAction(t *sim.Thread, idx int) {
+	if rs.remaining[idx] > 0 {
+		c := rs.condOf(idx)
+		for rs.remaining[idx] > 0 {
+			c.WaitFn(t, func() string { return rs.waitReason(idx) })
 		}
 	}
 	switch rs.opts.Speed {
@@ -322,16 +350,22 @@ func (rs *replayState) playAction(t *sim.Thread, idx int) {
 		t.Sleep(time.Duration(float64(rs.predelay[idx]) * rs.opts.Scale))
 	}
 	now := rs.sys.K.Now()
-	rs.issued[idx] = true
 	rs.issueAt[idx] = now - rs.start
-	rs.condOf(idx).Broadcast()
+	for _, ei := range rs.g.Succs[idx] {
+		if e := &rs.g.Edges[ei]; e.Kind == core.WaitIssue {
+			rs.depSatisfied(e.To)
+		}
+	}
 
 	ret, errno, emulated := rs.execute(t, idx)
 
 	end := rs.sys.K.Now()
-	rs.done[idx] = true
 	rs.doneAt[idx] = end - rs.start
-	rs.condOf(idx).Broadcast()
+	for _, ei := range rs.g.Succs[idx] {
+		if e := &rs.g.Edges[ei]; e.Kind == core.WaitComplete {
+			rs.depSatisfied(e.To)
+		}
+	}
 
 	rec := rs.b.Trace.Records[idx]
 	d := end - now
@@ -383,31 +417,81 @@ func (rs *replayState) finishReport() {
 	rs.rep.Graph = rs.g.Stats(rs.b.Analysis)
 }
 
+// actionTouches is one action's precomputed FD/AIO resource plan: the
+// indices into Action.Touches of the descriptor resource it uses and the
+// one it creates on success (-1 = none). Compile derives it once per
+// action so the replayer's per-action path does not rescan touch lists;
+// indices keep the plan at 8 bytes per action instead of four copied
+// ResourceIDs.
+type actionTouches struct {
+	fdUse, fdCreate, aioUse, aioCreate int16
+}
+
+// planOne resolves one action's touch plan from its analysis record.
+func planOne(act *core.Action) actionTouches {
+	p := actionTouches{fdUse: -1, fdCreate: -1, aioUse: -1, aioCreate: -1}
+	p.fdUse = findFDTouch(act, act.Rec.FD, false)
+	p.aioUse = findAIOTouch(act, false)
+	if num := createdFDNum(act); num >= 0 {
+		p.fdCreate = findFDTouch(act, num, true)
+	}
+	switch stack.Canonical(act.Rec.Call) {
+	case "aio_read", "aio_write":
+		p.aioCreate = findAIOTouch(act, true)
+	}
+	return p
+}
+
+// planTouches precomputes every action's touch plan.
+func planTouches(an *core.Analysis) []actionTouches {
+	out := make([]actionTouches, len(an.Actions))
+	for i := range an.Actions {
+		out[i] = planOne(&an.Actions[i])
+	}
+	return out
+}
+
+// createdFDNum returns the traced descriptor number an action creates on
+// success, or -1 if the call creates none.
+func createdFDNum(act *core.Action) int64 {
+	switch stack.Canonical(act.Rec.Call) {
+	case "open", "creat", "dup":
+		return act.Rec.Ret
+	case "dup2":
+		return act.Rec.FD2
+	case "fcntl":
+		if act.Rec.Name == "F_DUPFD" {
+			return act.Rec.Ret
+		}
+	}
+	return -1
+}
+
 // findFDTouch locates the fd resource an action references with the
-// given number and role class.
-func findFDTouch(act *core.Action, num int64, create bool) (core.ResourceID, bool) {
+// given number and role class, returning its touch index or -1.
+func findFDTouch(act *core.Action, num int64, create bool) int16 {
 	name := strconv.FormatInt(num, 10)
-	for _, tc := range act.Touches {
+	for ti, tc := range act.Touches {
 		if tc.Res.Kind != core.KFD || tc.Res.Name != name {
 			continue
 		}
 		if create == (tc.Role == core.RoleCreate) {
-			return tc.Res, true
+			return int16(ti)
 		}
 	}
-	return core.ResourceID{}, false
+	return -1
 }
 
-func findAIOTouch(act *core.Action, create bool) (core.ResourceID, bool) {
-	for _, tc := range act.Touches {
+func findAIOTouch(act *core.Action, create bool) int16 {
+	for ti, tc := range act.Touches {
 		if tc.Res.Kind != core.KAIO {
 			continue
 		}
 		if create == (tc.Role == core.RoleCreate) {
-			return tc.Res, true
+			return int16(ti)
 		}
 	}
-	return core.ResourceID{}, false
+	return -1
 }
 
 // execute performs the action against the target system: path
@@ -424,11 +508,17 @@ func (rs *replayState) execute(t *sim.Thread, idx int) (int64, vfs.Errno, bool) 
 	if act.CanonPath2 != "" {
 		rec.Path2 = rs.prefixPath(act.CanonPath2, false)
 	}
+	var plan actionTouches
+	if rs.b.touches != nil {
+		plan = rs.b.touches[idx]
+	} else {
+		plan = planOne(act) // hand-built benchmark without a compile-time plan
+	}
 	// Descriptor remapping: traced numbers map to replay numbers through
 	// the fd resource identity (name@generation), so descriptors that
 	// shared a number in the trace can coexist during replay (§4.2).
-	if usedRes, ok := findFDTouch(act, act.Rec.FD, false); ok {
-		if actual, ok := rs.fdMap[usedRes]; ok {
+	if plan.fdUse >= 0 {
+		if actual, ok := rs.fdMap[act.Touches[plan.fdUse].Res]; ok {
 			rec.FD = actual
 		}
 	} else if act.FDHint != nil {
@@ -438,8 +528,8 @@ func (rs *replayState) execute(t *sim.Thread, idx int) (int64, vfs.Errno, bool) 
 			rec.FD = actual
 		}
 	}
-	if usedAIO, ok := findAIOTouch(act, false); ok {
-		if actual, ok := rs.aioMap[usedAIO]; ok {
+	if plan.aioUse >= 0 {
+		if actual, ok := rs.aioMap[act.Touches[plan.aioUse].Res]; ok {
 			rec.AIO = actual
 		}
 	}
@@ -448,26 +538,11 @@ func (rs *replayState) execute(t *sim.Thread, idx int) (int64, vfs.Errno, bool) 
 
 	// Register created resources.
 	if errno == vfs.OK {
-		var createdNum int64 = -1
-		switch stack.Canonical(rec.Call) {
-		case "open", "creat", "dup":
-			createdNum = act.Rec.Ret
-		case "dup2":
-			createdNum = act.Rec.FD2
-		case "fcntl":
-			if rec.Name == "F_DUPFD" {
-				createdNum = act.Rec.Ret
-			}
+		if plan.fdCreate >= 0 {
+			rs.fdMap[act.Touches[plan.fdCreate].Res] = ret
 		}
-		if createdNum >= 0 {
-			if createdRes, ok := findFDTouch(act, createdNum, true); ok {
-				rs.fdMap[createdRes] = ret
-			}
-		}
-		if stack.Canonical(rec.Call) == "aio_read" || stack.Canonical(rec.Call) == "aio_write" {
-			if createdRes, ok := findAIOTouch(act, true); ok {
-				rs.aioMap[createdRes] = ret
-			}
+		if plan.aioCreate >= 0 {
+			rs.aioMap[act.Touches[plan.aioCreate].Res] = ret
 		}
 	}
 	return ret, errno, emulated

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	gopath "path"
 	"strconv"
+	"strings"
 
 	"rootreplay/internal/stack"
 	"rootreplay/internal/trace"
@@ -66,7 +67,33 @@ type analyzer struct {
 	// for diagnostics.
 	fdPath map[int64]string
 
+	// scratch is the reusable touch buffer analyzeRecord appends into;
+	// sealTouches copies each record's result out of it into slab-carved
+	// exact-size slices, so building a touch set costs no per-record
+	// append growth.
+	scratch []Touch
+	slab    []Touch
+
 	res *Analysis
+}
+
+// sealTouches copies a scratch-backed touch set into a compact slice
+// carved from a slab, so Action.Touches never retains scratch capacity.
+func (a *analyzer) sealTouches(ts []Touch) []Touch {
+	if len(ts) == 0 {
+		return nil
+	}
+	if len(a.slab) < len(ts) {
+		n := 1024
+		if len(ts) > n {
+			n = len(ts)
+		}
+		a.slab = make([]Touch, n)
+	}
+	out := a.slab[:len(ts):len(ts)]
+	a.slab = a.slab[len(ts):]
+	copy(out, ts)
+	return out
 }
 
 // Analyze runs the trace model over tr. The fs argument must hold the
@@ -103,6 +130,10 @@ func Analyze(tr *trace.Trace, fs *vfs.FS) (*Analysis, error) {
 			act.CanonPath2 = a.canon(rec.Path2)
 		}
 		touches := a.analyzeRecord(rec)
+		if touches != nil {
+			a.scratch = touches[:0] // keep any grown capacity for reuse
+			touches = a.sealTouches(touches)
+		}
 		act.Touches = touches
 		if !rec.OK() {
 			if _, tracked := a.fdFile[rec.FD]; tracked && rec.FD != 0 {
@@ -122,15 +153,42 @@ func Analyze(tr *trace.Trace, fs *vfs.FS) (*Analysis, error) {
 	return a.res, nil
 }
 
-// canon returns the canonical absolute form of a traced path.
+// canon returns the canonical absolute form of a traced path. Absolute
+// paths that are already clean — the overwhelmingly common case — are
+// returned as-is without running path.Clean's byte-builder.
 func (a *analyzer) canon(p string) string {
 	if p == "" {
 		return ""
 	}
 	if p[0] != '/' {
-		p = a.cwdPath + "/" + p
+		return gopath.Clean(a.cwdPath + "/" + p)
+	}
+	if pathIsClean(p) {
+		return p
 	}
 	return gopath.Clean(p)
+}
+
+// pathIsClean reports whether an absolute path is already in canonical
+// form: no doubled or trailing slashes and no "." or ".." components.
+func pathIsClean(p string) bool {
+	for i := 1; i < len(p); i++ {
+		if p[i-1] != '/' {
+			continue
+		}
+		if p[i] == '/' {
+			return false
+		}
+		if p[i] == '.' {
+			if i+1 == len(p) || p[i+1] == '/' {
+				return false
+			}
+			if p[i+1] == '.' && (i+2 == len(p) || p[i+2] == '/') {
+				return false
+			}
+		}
+	}
+	return p == "/" || p[len(p)-1] != '/'
 }
 
 // pathRes returns the path resource for the current generation of name,
@@ -190,7 +248,14 @@ func (a *analyzer) warnf(rec *trace.Record, format string, args ...any) {
 // parentOf resolves the directory containing the final component of p,
 // or nil.
 func (a *analyzer) parentOf(p string) *vfs.Inode {
-	dir := gopath.Dir(a.canon(p))
+	// The canonical form is absolute and clean, so the parent is a
+	// prefix slice; gopath.Dir would re-run Clean over it.
+	dir := a.canon(p)
+	if i := strings.LastIndexByte(dir, '/'); i > 0 {
+		dir = dir[:i]
+	} else {
+		dir = "/"
+	}
 	ino, err := a.fs.Resolve(nil, dir)
 	if err != vfs.OK {
 		return nil
@@ -208,7 +273,7 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 	if !rec.OK() {
 		return nil
 	}
-	var ts []Touch
+	ts := a.scratch[:0]
 	use := func(r ResourceID) { ts = append(ts, Touch{r, RoleUse}) }
 	create := func(r ResourceID) { ts = append(ts, Touch{r, RoleCreate}) }
 	del := func(r ResourceID) { ts = append(ts, Touch{r, RoleDelete}) }

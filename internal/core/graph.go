@@ -36,13 +36,45 @@ type Graph struct {
 	Edges []Edge
 	// Deps[i] lists the indices of edges whose To == i.
 	Deps [][]int
+	// Succs[i] lists the indices of edges whose From == i; the
+	// replayer's indegree scheduler walks it when action i issues or
+	// completes.
+	Succs [][]int
+	// Indegree[i] is len(Deps[i]): the number of edges action i must
+	// wait out before it can be issued.
+	Indegree []int
+	// ReducedEdges counts edges removed by Reduce; the raw edge count is
+	// len(Edges) + ReducedEdges.
+	ReducedEdges int
 }
 
-// newGraph builds the index from an edge list.
+// newGraph builds the indexes from an edge list.
 func newGraph(n int, edges []Edge) *Graph {
-	g := &Graph{N: n, Edges: edges, Deps: make([][]int, n)}
+	g := &Graph{
+		N:        n,
+		Edges:    edges,
+		Deps:     make([][]int, n),
+		Succs:    make([][]int, n),
+		Indegree: make([]int, n),
+	}
+	// Size the adjacency slices in two passes so the per-node slices are
+	// exact-capacity single allocations rather than append-grown.
+	outDeg := make([]int, n)
+	for _, e := range edges {
+		g.Indegree[e.To]++
+		outDeg[e.From]++
+	}
+	depBuf := make([]int, len(edges))
+	succBuf := make([]int, len(edges))
+	for i := 0; i < n; i++ {
+		g.Deps[i] = depBuf[:0:g.Indegree[i]]
+		depBuf = depBuf[g.Indegree[i]:]
+		g.Succs[i] = succBuf[:0:outDeg[i]]
+		succBuf = succBuf[outDeg[i]:]
+	}
 	for ei, e := range edges {
 		g.Deps[e.To] = append(g.Deps[e.To], ei)
+		g.Succs[e.From] = append(g.Succs[e.From], ei)
 	}
 	return g
 }
@@ -54,8 +86,10 @@ func newGraph(n int, edges []Edge) *Graph {
 func BuildGraph(an *Analysis, modes ModeSet) *Graph {
 	n := len(an.Actions)
 	tid := func(i int) int { return an.Actions[i].Rec.TID }
-	seen := make(map[[2]int]bool)
-	var edges []Edge
+	// Edges are appended freely (the ordering rules emit the same pair
+	// through different resources) and deduplicated afterward by a
+	// sort+compact pass — far cheaper than a map probe per candidate.
+	edges := make([]Edge, 0, n)
 	add := func(from, to int, kind EdgeKind, res ResourceID) {
 		if from == to || from > to {
 			return
@@ -63,11 +97,6 @@ func BuildGraph(an *Analysis, modes ModeSet) *Graph {
 		if tid(from) == tid(to) {
 			return
 		}
-		key := [2]int{from, to}
-		if seen[key] {
-			return
-		}
-		seen[key] = true
 		edges = append(edges, Edge{From: from, To: to, Kind: kind, Res: res})
 	}
 
@@ -76,7 +105,7 @@ func BuildGraph(an *Analysis, modes ModeSet) *Graph {
 			add(i-1, i, WaitComplete, ResourceID{Kind: KProgram, Name: "program", Gen: 1})
 		}
 		// program_seq subsumes every other rule; no further edges needed.
-		return newGraph(n, edges)
+		return newGraph(n, dedupEdges(edges))
 	}
 
 	// Deterministic resource iteration order.
@@ -160,7 +189,180 @@ func BuildGraph(an *Analysis, modes ModeSet) *Graph {
 			}
 		}
 	}
-	return newGraph(n, edges)
+	return newGraph(n, dedupEdges(edges))
+}
+
+// dedupEdges sorts edges by (From, To) and keeps the first-emitted edge
+// of each pair, preserving the rule order BuildGraph added them in (the
+// behaviour the old seen-map dedup had). It sorts a permutation of int32
+// indices rather than the edges themselves: swaps move 4 bytes instead
+// of a whole Edge, and the emission-index tiebreak makes the sort stable
+// without sort.SliceStable's merge passes.
+func dedupEdges(edges []Edge) []Edge {
+	if len(edges) < 2 {
+		return edges
+	}
+	ord := make([]int32, len(edges))
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	sort.Slice(ord, func(i, j int) bool {
+		a, b := &edges[ord[i]], &edges[ord[j]]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return ord[i] < ord[j]
+	})
+	out := make([]Edge, 0, len(edges))
+	for k, oi := range ord {
+		if k > 0 {
+			if prev := &edges[ord[k-1]]; prev.From == edges[oi].From && prev.To == edges[oi].To {
+				continue
+			}
+		}
+		out = append(out, edges[oi])
+	}
+	return out
+}
+
+// Reduce returns a graph enforcing the same partial order with
+// transitively-redundant edges removed. An edge u -> v is redundant when
+// another path from u to v already implies it: either a chain of other
+// edges, or same-thread replay order (each traced thread replays its
+// actions sequentially, so an edge into an early action of a thread
+// subsumes edges into that thread's later actions — this collapses the
+// stage rule's create -> every-later-action fan-out to one edge per
+// thread).
+//
+// The implication is only sound when every hop is complete-strength:
+// WaitComplete edges and same-thread order both guarantee the
+// predecessor has *completed* before the successor issues, so any chain
+// starting at u implies issue(v) >= complete(u). Graphs containing
+// WaitIssue edges (the temporal baseline) are returned unchanged.
+//
+// Reduce does not mutate g; ReducedEdges on the result counts the
+// removed edges so reports can show both raw and reduced sizes.
+func (g *Graph) Reduce(an *Analysis) *Graph {
+	n := g.N
+	if n == 0 || len(g.Edges) == 0 {
+		return g
+	}
+	for _, e := range g.Edges {
+		if e.Kind != WaitComplete {
+			return g
+		}
+	}
+
+	// Thread structure: compact thread index, position within thread,
+	// and each action's same-thread successor.
+	tidIdx := make([]int, n)
+	pos := make([]int, n)
+	next := make([]int, n)
+	threadOf := make(map[int]int)
+	lastOf := make(map[int]int)
+	for i := 0; i < n; i++ {
+		next[i] = -1
+		tid := an.Actions[i].Rec.TID
+		ti, ok := threadOf[tid]
+		if !ok {
+			ti = len(threadOf)
+			threadOf[tid] = ti
+		}
+		tidIdx[i] = ti
+		if prev, ok := lastOf[tid]; ok {
+			pos[i] = pos[prev] + 1
+			next[prev] = i
+		}
+		lastOf[tid] = i
+	}
+	nt := len(threadOf)
+	// The closure table below is n*nt int32s. Past ~32M entries the
+	// memory cost outweighs the replay savings; keep the raw graph.
+	if nt == 0 || n > (32<<20)/nt {
+		return g
+	}
+
+	// closure[u*nt+t] is the minimum thread-t position over {u} union
+	// every node reachable from u (through edges and same-thread order).
+	// Every edge goes forward in trace order, so processing u from n-1
+	// down to 0 sees each successor's closure before it is needed.
+	const inf = int32(1) << 30
+	closure := make([]int32, n*nt)
+	for i := range closure {
+		closure[i] = inf
+	}
+	relax := func(u, w int) {
+		cu, cw := closure[u*nt:(u+1)*nt], closure[w*nt:(w+1)*nt]
+		for t := 0; t < nt; t++ {
+			if cw[t] < cu[t] {
+				cu[t] = cw[t]
+			}
+		}
+	}
+	// min1/min2 hold, per target thread, the two smallest closure
+	// positions over u's direct successors, with min1's witness node, so
+	// the redundancy check can exclude the candidate edge's own target.
+	min1 := make([]int32, nt)
+	min2 := make([]int32, nt)
+	wit := make([]int, nt)
+	redundant := make([]bool, len(g.Edges))
+	removed := 0
+
+	for u := n - 1; u >= 0; u-- {
+		cu := closure[u*nt : (u+1)*nt]
+		cu[tidIdx[u]] = int32(pos[u])
+		for t := 0; t < nt; t++ {
+			min1[t], min2[t], wit[t] = inf, inf, -1
+		}
+		account := func(w int) {
+			cw := closure[w*nt : (w+1)*nt]
+			for t := 0; t < nt; t++ {
+				switch {
+				case cw[t] < min1[t]:
+					min2[t] = min1[t]
+					min1[t], wit[t] = cw[t], w
+				case cw[t] < min2[t]:
+					min2[t] = cw[t]
+				}
+			}
+		}
+		if next[u] >= 0 {
+			relax(u, next[u])
+			account(next[u])
+		}
+		for _, ei := range g.Succs[u] {
+			w := g.Edges[ei].To
+			relax(u, w)
+			account(w)
+		}
+		for _, ei := range g.Succs[u] {
+			v := g.Edges[ei].To
+			t := tidIdx[v]
+			m := min1[t]
+			if wit[t] == v {
+				m = min2[t]
+			}
+			if int32(pos[v]) >= m {
+				redundant[ei] = true
+				removed++
+			}
+		}
+	}
+	if removed == 0 {
+		return g
+	}
+	kept := make([]Edge, 0, len(g.Edges)-removed)
+	for ei, e := range g.Edges {
+		if !redundant[ei] {
+			kept = append(kept, e)
+		}
+	}
+	out := newGraph(n, kept)
+	out.ReducedEdges = g.ReducedEdges + removed
+	return out
 }
 
 // TemporalGraph builds the baseline temporally-ordered replay graph:
@@ -201,9 +403,13 @@ func (g *Graph) CheckAcyclic() error {
 // count and the mean "length" of an edge measured as trace time between
 // the two actions' issue points.
 type GraphStats struct {
-	Edges      int
-	MeanLength time.Duration
-	MaxLength  time.Duration
+	Edges int
+	// ReducedEdges counts edges Reduce removed as transitively
+	// redundant; Edges + ReducedEdges is the raw count BuildGraph
+	// emitted.
+	ReducedEdges int
+	MeanLength   time.Duration
+	MaxLength    time.Duration
 }
 
 // Stats computes edge statistics against the analysis the graph was
@@ -211,6 +417,7 @@ type GraphStats struct {
 func (g *Graph) Stats(an *Analysis) GraphStats {
 	var st GraphStats
 	st.Edges = len(g.Edges)
+	st.ReducedEdges = g.ReducedEdges
 	if st.Edges == 0 {
 		return st
 	}

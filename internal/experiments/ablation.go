@@ -65,7 +65,9 @@ func Ablation(p Params) (*AblationResult, error) {
 
 	res := &AblationResult{Original: orig}
 	for _, step := range ladder {
-		g := core.BuildGraph(b.Analysis, step.modes)
+		// GraphFor memoizes per mode set, so the replay below (which
+		// overrides Modes) reuses this graph instead of rebuilding it.
+		g := b.GraphFor(step.modes)
 		st := g.Stats(b.Analysis)
 		k := sim.NewKernel()
 		sys := stack.New(k, conf)

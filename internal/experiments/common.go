@@ -126,8 +126,12 @@ func compare(label string, w workload.Workload, src, tgt stack.Config) (*Compari
 		return nil, fmt.Errorf("%s: original on target: %w", label, err)
 	}
 	cmp := &Comparison{Label: label, Original: orig}
+	b, err := artc.Compile(tr, snap, core.DefaultModes())
+	if err != nil {
+		return nil, fmt.Errorf("%s: compiling: %w", label, err)
+	}
 	for _, m := range Methods {
-		run, err := replayOnce(tr, snap, tgt, m)
+		run, err := replayBench(b, tgt, m)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", label, m, err)
 		}
@@ -143,6 +147,13 @@ func replayOnce(tr *trace.Trace, snap *snapshot.Snapshot, tgt stack.Config, m ar
 	if err != nil {
 		return nil, err
 	}
+	return replayBench(b, tgt, m)
+}
+
+// replayBench replays an already-compiled benchmark on a fresh instance
+// of the target system. The benchmark is only read, so one compiled
+// benchmark can be replayed from many harness workers at once.
+func replayBench(b *artc.Benchmark, tgt stack.Config, m artc.Method) (*MethodRun, error) {
 	k := sim.NewKernel()
 	sys := stack.New(k, tgt)
 	if err := artc.Init(sys, b, ""); err != nil {

@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+// TestParallelHarnessDeterministic runs Fig5a twice under forced
+// parallelism and requires byte-identical formatted output.
+func TestParallelHarnessDeterministic(t *testing.T) {
+	a, err := Fig5a(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig5a(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Fatalf("nondeterministic output:\n--- run 1:\n%s\n--- run 2:\n%s", a.Format(), b.Format())
+	}
+}

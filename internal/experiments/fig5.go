@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rootreplay/internal/par"
 	"rootreplay/internal/stack"
 	"rootreplay/internal/workload"
 )
@@ -16,21 +17,26 @@ type Fig5aResult struct {
 
 // Fig5a runs the experiment of Figure 5(a).
 func Fig5a(p Params) (*Fig5aResult, error) {
-	res := &Fig5aResult{}
-	for _, threads := range []int{1, 2, 8} {
+	counts := []int{1, 2, 8}
+	cmps := make([]*Comparison, len(counts))
+	err := par.ForEach(len(counts), func(i int) error {
 		w := &workload.RandomReaders{
-			Threads: threads, ReadsPerThread: p.ReadsPerThread,
+			Threads: counts[i], ReadsPerThread: p.ReadsPerThread,
 			FileBytes: p.FileBytes, Seed: 42,
 		}
 		conf := hddConf()
 		conf.CachePages = p.CachePagesSmall
-		cmp, err := compare(fmt.Sprintf("%d threads", threads), w, conf, conf)
+		cmp, err := compare(fmt.Sprintf("%d threads", counts[i]), w, conf, conf)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Comparisons = append(res.Comparisons, cmp)
+		cmps[i] = cmp
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig5aResult{Comparisons: cmps}, nil
 }
 
 // Format renders the figure's bar groups as a table.
@@ -56,21 +62,39 @@ func Fig5b(p Params) (*Fig5bResult, error) {
 	raid.Device = stack.DeviceRAID
 	raid.CachePages = p.CachePagesSmall
 
-	res := &Fig5bResult{}
-	for _, dir := range []struct {
+	dirs := []struct {
 		label    string
 		src, tgt stack.Config
 	}{
 		{"1disk -> raid0", single, raid},
 		{"raid0 -> 1disk", raid, single},
-	} {
-		cmp, err := compare(dir.label, w, dir.src, dir.tgt)
-		if err != nil {
-			return nil, err
-		}
-		res.Comparisons = append(res.Comparisons, cmp)
 	}
-	return res, nil
+	cmps, err := compareAll(dirs, w)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5bResult{Comparisons: cmps}, nil
+}
+
+// compareAll runs compare for each direction on the harness pool,
+// returning comparisons in argument order.
+func compareAll(dirs []struct {
+	label    string
+	src, tgt stack.Config
+}, w workload.Workload) ([]*Comparison, error) {
+	cmps := make([]*Comparison, len(dirs))
+	err := par.ForEach(len(dirs), func(i int) error {
+		cmp, err := compare(dirs[i].label, w, dirs[i].src, dirs[i].tgt)
+		if err != nil {
+			return err
+		}
+		cmps[i] = cmp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cmps, nil
 }
 
 // Format renders the result.
@@ -101,21 +125,18 @@ func Fig5c(p Params) (*Fig5cResult, error) {
 	big := mk(p.CachePagesBig, "raid0-bigcache")
 	small := mk(p.CachePagesSmall, "raid0-smallcache")
 
-	res := &Fig5cResult{}
-	for _, dir := range []struct {
+	dirs := []struct {
 		label    string
 		src, tgt stack.Config
 	}{
 		{"big$ -> small$", big, small},
 		{"small$ -> big$", small, big},
-	} {
-		cmp, err := compare(dir.label, w, dir.src, dir.tgt)
-		if err != nil {
-			return nil, err
-		}
-		res.Comparisons = append(res.Comparisons, cmp)
 	}
-	return res, nil
+	cmps, err := compareAll(dirs, w)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5cResult{Comparisons: cmps}, nil
 }
 
 // Format renders the result.
@@ -143,21 +164,18 @@ func Fig5d(p Params) (*Fig5dResult, error) {
 	long := mk(100*time.Millisecond, "cfq-100ms")
 	short := mk(1*time.Millisecond, "cfq-1ms")
 
-	res := &Fig5dResult{}
-	for _, dir := range []struct {
+	dirs := []struct {
 		label    string
 		src, tgt stack.Config
 	}{
 		{"100ms -> 1ms", long, short},
 		{"1ms -> 100ms", short, long},
-	} {
-		cmp, err := compare(dir.label, w, dir.src, dir.tgt)
-		if err != nil {
-			return nil, err
-		}
-		res.Comparisons = append(res.Comparisons, cmp)
 	}
-	return res, nil
+	cmps, err := compareAll(dirs, w)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5dResult{Comparisons: cmps}, nil
 }
 
 // Format renders the result.

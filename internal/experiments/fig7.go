@@ -5,8 +5,10 @@ import (
 	"time"
 
 	"rootreplay/internal/artc"
+	"rootreplay/internal/core"
 	"rootreplay/internal/leveldb"
 	"rootreplay/internal/metrics"
+	"rootreplay/internal/par"
 	"rootreplay/internal/stack"
 	"rootreplay/internal/workload"
 )
@@ -79,40 +81,87 @@ func Fig7(p Params, fillsyncPairs int) (*Fig7Result, error) {
 	}
 
 	for _, w := range workloads {
-		pairs := 0
-		// Original program timing per target (reused across sources).
-		origByTarget := make(map[string]time.Duration)
-		for _, tgt := range configs {
-			d, err := workload.Run(tgt, w.make())
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s original on %s: %w", w.name, tgt.Name, err)
-			}
-			origByTarget[tgt.Name] = d
-		}
-		for _, src := range configs {
-			tr, snap, _, err := workload.TraceWorkload(src, w.make())
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s tracing on %s: %w", w.name, src.Name, err)
-			}
-			for _, tgt := range configs {
-				if w.limit > 0 && pairs >= w.limit {
+		// Enumerate the (source, target) cells up front, in the same
+		// source-major order (and with the same pair limit) the serial
+		// loop used, so the harness can fan them out while the assembled
+		// tables keep their order.
+		type pair struct{ src, tgt int }
+		var cells []pair
+		for si := range configs {
+			for ti := range configs {
+				if w.limit > 0 && len(cells) >= w.limit {
 					break
 				}
-				pairs++
-				cell := &Fig7Cell{Source: src.Name, Target: tgt.Name, Original: origByTarget[tgt.Name]}
-				for _, m := range Methods {
-					run, err := replayOnce(tr, snap, tgt, m)
-					if err != nil {
-						return nil, fmt.Errorf("fig7 %s %s->%s %s: %w", w.name, src.Name, tgt.Name, m, err)
-					}
-					run.Err = metrics.RelError(run.Elapsed, cell.Original)
-					cell.Runs = append(cell.Runs, *run)
-					res.Errors[m] = append(res.Errors[m], run.Err)
-				}
-				res.Workload[w.name] = append(res.Workload[w.name], cell)
+				cells = append(cells, pair{si, ti})
 			}
-			if w.limit > 0 && pairs >= w.limit {
+			if w.limit > 0 && len(cells) >= w.limit {
 				break
+			}
+		}
+
+		// Original program timing per target (reused across sources).
+		origByTarget := make([]time.Duration, len(configs))
+		if err := par.ForEach(len(configs), func(ti int) error {
+			d, err := workload.Run(configs[ti], w.make())
+			if err != nil {
+				return fmt.Errorf("fig7 %s original on %s: %w", w.name, configs[ti].Name, err)
+			}
+			origByTarget[ti] = d
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+
+		// Trace and compile once per needed source. Each cell then
+		// replays a shared, read-only benchmark, instead of recompiling
+		// the source trace per (target, method).
+		var srcs []int
+		needed := make([]bool, len(configs))
+		for _, c := range cells {
+			if !needed[c.src] {
+				needed[c.src] = true
+				srcs = append(srcs, c.src)
+			}
+		}
+		benches := make([]*artc.Benchmark, len(configs))
+		if err := par.ForEach(len(srcs), func(k int) error {
+			si := srcs[k]
+			tr, snap, _, err := workload.TraceWorkload(configs[si], w.make())
+			if err != nil {
+				return fmt.Errorf("fig7 %s tracing on %s: %w", w.name, configs[si].Name, err)
+			}
+			b, err := artc.Compile(tr, snap, core.DefaultModes())
+			if err != nil {
+				return fmt.Errorf("fig7 %s compiling %s trace: %w", w.name, configs[si].Name, err)
+			}
+			benches[si] = b
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+
+		results := make([]*Fig7Cell, len(cells))
+		if err := par.ForEach(len(cells), func(ci int) error {
+			c := cells[ci]
+			src, tgt := configs[c.src], configs[c.tgt]
+			cell := &Fig7Cell{Source: src.Name, Target: tgt.Name, Original: origByTarget[c.tgt]}
+			for _, m := range Methods {
+				run, err := replayBench(benches[c.src], tgt, m)
+				if err != nil {
+					return fmt.Errorf("fig7 %s %s->%s %s: %w", w.name, src.Name, tgt.Name, m, err)
+				}
+				run.Err = metrics.RelError(run.Elapsed, cell.Original)
+				cell.Runs = append(cell.Runs, *run)
+			}
+			results[ci] = cell
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for _, cell := range results {
+			res.Workload[w.name] = append(res.Workload[w.name], cell)
+			for i, m := range Methods {
+				res.Errors[m] = append(res.Errors[m], cell.Runs[i].Err)
 			}
 		}
 	}

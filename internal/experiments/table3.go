@@ -8,6 +8,7 @@ import (
 	"rootreplay/internal/core"
 	"rootreplay/internal/magritte"
 	"rootreplay/internal/metrics"
+	"rootreplay/internal/par"
 	"rootreplay/internal/stack"
 )
 
@@ -78,31 +79,37 @@ func Fig10(p Params, traces int) (*Fig10Result, error) {
 		}
 	}
 	hdd, ssd := mk(stack.DeviceHDD), mk(stack.DeviceSSD)
-	res := &Fig10Result{}
-	for i, spec := range magritte.Specs {
-		if traces > 0 && i >= traces {
-			break
-		}
+	n := len(magritte.Specs)
+	if traces > 0 && traces < n {
+		n = traces
+	}
+	rows := make([]Fig10Row, n)
+	err := par.ForEach(n, func(i int) error {
+		spec := magritte.Specs[i]
 		gen, err := magritte.Generate(spec, magritte.GenOptions{Scale: p.MagritteScale, Seed: int64(i) * 1000003})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b, err := artc.Compile(gen.Trace, gen.Snapshot, core.DefaultModes())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Fig10Row{Name: spec.FullName()}
 		row.HDD, row.HDDTotal, err = magritte.ThreadTimeRun(b, hdd, true)
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s hdd: %w", spec.FullName(), err)
+			return fmt.Errorf("fig10 %s hdd: %w", spec.FullName(), err)
 		}
 		row.SSD, row.SSDTotal, err = magritte.ThreadTimeRun(b, ssd, true)
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s ssd: %w", spec.FullName(), err)
+			return fmt.Errorf("fig10 %s ssd: %w", spec.FullName(), err)
 		}
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig10Result{Rows: rows}, nil
 }
 
 // Format renders per-trace normalized breakdowns.

@@ -7,6 +7,7 @@ import (
 
 	"rootreplay/internal/artc"
 	"rootreplay/internal/core"
+	"rootreplay/internal/par"
 	"rootreplay/internal/sim"
 	"rootreplay/internal/stack"
 	"rootreplay/internal/vfs"
@@ -141,16 +142,23 @@ func RunOne(spec Spec, opts SuiteOptions) (*Result, error) {
 }
 
 // RunSuite runs every Magritte trace, returning results in Specs order.
+// Each trace is generated, compiled, and replayed in its own simulation,
+// so the suite fans out across cores; per-spec seeds keep every trace —
+// and therefore every result — identical to a serial run.
 func RunSuite(opts SuiteOptions) ([]*Result, error) {
-	var out []*Result
-	for i, spec := range Specs {
+	out := make([]*Result, len(Specs))
+	err := par.ForEach(len(Specs), func(i int) error {
 		o := opts
 		o.Gen.Seed = opts.Gen.Seed + int64(i)*1000003
-		r, err := RunOne(spec, o)
+		r, err := RunOne(Specs[i], o)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

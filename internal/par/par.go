@@ -1,0 +1,61 @@
+// Package par is the experiment harness's bounded worker pool. The
+// evaluation matrices (Fig. 5/7, the Magritte suite) run dozens of
+// independent trace/compile/replay cells; each cell is a self-contained
+// discrete-event simulation, so cells can fan out across cores without
+// affecting the virtual-time results. Determinism is preserved by
+// slotting results into index-addressed slices: callers observe the same
+// output order as a serial loop, whatever order the workers finish in.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), fanning out over up to
+// GOMAXPROCS workers. It always runs every index (no cancellation on
+// error, so index-slotted results stay fully populated) and returns the
+// lowest-index error, matching what a serial loop that collected all
+// errors would report first.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

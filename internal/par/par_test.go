@@ -1,0 +1,55 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		hits := make([]int32, n)
+		if err := ForEach(n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	wantErr := errors.New("boom-3")
+	err := ForEach(50, func(i int) error {
+		switch i {
+		case 3:
+			return wantErr
+		case 40:
+			return fmt.Errorf("boom-40")
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want lowest-index error %v", err, wantErr)
+	}
+}
+
+func TestForEachErrorDoesNotCancel(t *testing.T) {
+	var ran atomic.Int32
+	_ = ForEach(20, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if got := ran.Load(); got != 20 {
+		t.Fatalf("ran %d of 20 indices; errors must not cancel the fan-out", got)
+	}
+}

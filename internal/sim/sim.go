@@ -90,9 +90,20 @@ type Thread struct {
 	state  ThreadState
 	resume chan struct{}
 
-	// blockReason is a human-readable description of what the thread is
-	// waiting for, used in deadlock reports.
-	blockReason string
+	// blockReason / blockReasonf describe what the thread is waiting
+	// for, used in deadlock reports. blockReasonf, when set, is invoked
+	// lazily so hot paths can block without formatting a string.
+	blockReason  string
+	blockReasonf func() string
+}
+
+// BlockReason returns the thread's current wait description (empty when
+// not blocked), rendering a lazy reason if one was supplied.
+func (t *Thread) BlockReason() string {
+	if t.blockReasonf != nil {
+		return t.blockReasonf()
+	}
+	return t.blockReason
 }
 
 // ID returns the thread's kernel-assigned identifier (1-based, in spawn
@@ -220,7 +231,7 @@ func (k *Kernel) Run() error {
 			var blocked []string
 			for _, t := range k.threads {
 				if t.state == StateBlocked {
-					blocked = append(blocked, fmt.Sprintf("%s(%d): %s", t.name, t.id, t.blockReason))
+					blocked = append(blocked, fmt.Sprintf("%s(%d): %s", t.name, t.id, t.BlockReason()))
 				}
 			}
 			sort.Strings(blocked)
@@ -242,6 +253,19 @@ func (t *Thread) block(reason string) {
 	t.k.yielded <- struct{}{}
 	<-t.resume
 	t.blockReason = ""
+}
+
+// blockf is block with a lazily-rendered reason: reasonf runs only if a
+// deadlock report (or BlockReason) actually needs the description.
+func (t *Thread) blockf(reasonf func() string) {
+	if t.k.current != t {
+		panic(fmt.Sprintf("sim: thread %q blocking while not current", t.name))
+	}
+	t.state = StateBlocked
+	t.blockReasonf = reasonf
+	t.k.yielded <- struct{}{}
+	<-t.resume
+	t.blockReasonf = nil
 }
 
 // unpark moves a blocked thread to the back of the run queue. It is a
@@ -271,7 +295,10 @@ func (t *Thread) Sleep(d time.Duration) {
 		return
 	}
 	t.k.After(d, func() { t.k.unpark(t) })
-	t.block(fmt.Sprintf("sleeping %v", d))
+	// A sleeping thread always has a pending wake event, so its reason
+	// can never appear in a deadlock report; a constant avoids a
+	// fmt.Sprintf on every simulated sleep.
+	t.block("sleeping")
 }
 
 // Park blocks the calling thread until another thread or event calls
@@ -301,6 +328,14 @@ func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
 func (c *Cond) Wait(t *Thread, reason string) {
 	c.waiters = append(c.waiters, t)
 	t.block(reason)
+}
+
+// WaitFn is Wait with a lazily-rendered reason: reasonf runs only if a
+// deadlock report needs the description, so satisfied-fast wait loops
+// allocate nothing for it.
+func (c *Cond) WaitFn(t *Thread, reasonf func() string) {
+	c.waiters = append(c.waiters, t)
+	t.blockf(reasonf)
 }
 
 // Signal wakes the longest-waiting thread, if any.
@@ -355,7 +390,7 @@ func (w *WaitGroup) Done() { w.Add(-1) }
 // Wait blocks t until the counter reaches zero.
 func (w *WaitGroup) Wait(t *Thread) {
 	for w.n > 0 {
-		w.cond.Wait(t, fmt.Sprintf("waitgroup (%d remaining)", w.n))
+		w.cond.WaitFn(t, func() string { return fmt.Sprintf("waitgroup (%d remaining)", w.n) })
 	}
 }
 

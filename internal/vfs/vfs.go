@@ -176,16 +176,31 @@ func (fs *FS) walk(base *Inode, path string, followLast bool, depth int) (resolu
 	if path == "" {
 		return resolution{}, ENOENT
 	}
-	parts, abs := splitPath(path)
 	cur := base
-	if abs || cur == nil {
+	if path[0] == '/' || cur == nil {
 		cur = fs.root
 	}
-	if len(parts) == 0 {
+	// Walk the components in place (substrings of path) rather than
+	// materializing a []string per resolution: walk is the hottest loop
+	// in both analysis and replay.
+	i := 0
+	for i < len(path) && path[i] == '/' {
+		i++
+	}
+	if i == len(path) {
 		return resolution{inode: cur, parent: cur.parent, name: ""}, OK
 	}
-	for i, part := range parts {
-		last := i == len(parts)-1
+	for {
+		j := i
+		for j < len(path) && path[j] != '/' {
+			j++
+		}
+		part := path[i:j]
+		k := j
+		for k < len(path) && path[k] == '/' {
+			k++
+		}
+		last := k == len(path)
 		if cur.Type != TypeDir {
 			return resolution{}, ENOTDIR
 		}
@@ -231,8 +246,8 @@ func (fs *FS) walk(base *Inode, path string, followLast bool, depth int) (resolu
 			return resolution{inode: next, parent: cur, name: part}, OK
 		}
 		cur = next
+		i = k
 	}
-	panic("unreachable")
 }
 
 // Resolve looks up path from base (nil = root), following symlinks

@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI gate: vet, race-enabled tests, a one-shot pass over the Compile
+# benchmark, then a perfstat snapshot so the perf trajectory is tracked
+# per PR (BENCH_<tag>.json).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tag="${1:-pr1}"
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== go test -bench=Compile -benchtime=1x"
+go test -run '^$' -bench 'Compile' -benchtime 1x -benchmem .
+
+echo "== perfstat -> BENCH_${tag}.json"
+go run ./cmd/perfstat -o "BENCH_${tag}.json"
