@@ -6,6 +6,9 @@ import (
 	"rootreplay/internal/artc"
 	"rootreplay/internal/experiments"
 	"rootreplay/internal/magritte"
+	"rootreplay/internal/obs"
+	"rootreplay/internal/sim"
+	"rootreplay/internal/stack"
 )
 
 // One benchmark per table and figure in the paper's evaluation. Each
@@ -194,6 +197,44 @@ func BenchmarkFig10ThreadTime(b *testing.B) {
 			b.ReportMetric(res.MeanSpeedup(), "hdd/ssd-threadtime-x")
 		}
 	}
+}
+
+// BenchmarkReplayObsOff and BenchmarkReplayObsOn measure the replayer
+// with the observability recorder disabled and enabled on the same
+// mid-size Magritte benchmark. Off must stay within noise of the
+// recorder-less replayer (the disabled path is one nil check per
+// action); the On/Off delta is the recording cost itself.
+func benchmarkReplayObs(b *testing.B, rec func() *obs.Recorder) {
+	spec, _ := magritte.SpecByName("pages_docphoto15")
+	gen, err := magritte.Generate(spec, magritte.GenOptions{Scale: 0.02, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, err := Compile(gen.Trace, gen.Snapshot, DefaultModes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := magritte.DefaultSuiteOptions().Target
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		sys := stack.New(k, target)
+		if err := magritte.InitTarget(sys, bench, true); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := artc.Replay(sys, bench, artc.Options{Obs: rec()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(gen.Trace.Records)), "records")
+}
+
+func BenchmarkReplayObsOff(b *testing.B) {
+	benchmarkReplayObs(b, func() *obs.Recorder { return nil })
+}
+
+func BenchmarkReplayObsOn(b *testing.B) {
+	benchmarkReplayObs(b, func() *obs.Recorder { return obs.NewRecorder(0, 0) })
 }
 
 // BenchmarkCompile measures the compiler itself on a mid-size Magritte

@@ -3,12 +3,15 @@
 //	artc compile -trace app.strace -format strace -snapshot init.snap -o app.bench
 //	artc replay  -bench app.bench -target linux-ext4-hdd -method artc -speed afap
 //	artc inspect -bench app.bench
+//	artc trace   -magritte pages_docphoto15 -o replay.trace.json
 //
 // compile turns a trace (native or strace format) plus an optional
 // initial-state snapshot into a self-contained benchmark file. replay
 // executes a benchmark on a simulated target machine and reports timing
 // and semantic accuracy. inspect prints a benchmark's dependency-graph
-// statistics.
+// statistics. trace replays with the observability recorder enabled and
+// exports a Chrome trace_event JSON file (loadable in Perfetto) plus a
+// text summary and critical-path report.
 package main
 
 import (
@@ -21,6 +24,8 @@ import (
 
 	"rootreplay/internal/artc"
 	"rootreplay/internal/core"
+	"rootreplay/internal/magritte"
+	"rootreplay/internal/obs"
 	"rootreplay/internal/sim"
 	"rootreplay/internal/snapshot"
 	"rootreplay/internal/stack"
@@ -39,6 +44,8 @@ func main() {
 		err = replayCmd(os.Args[2:])
 	case "inspect":
 		err = inspectCmd(os.Args[2:])
+	case "trace":
+		err = traceCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -49,7 +56,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: artc <compile|replay|inspect> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: artc <compile|replay|inspect|trace> [flags]")
 	os.Exit(2)
 }
 
@@ -227,6 +234,93 @@ func replayCmd(args []string) error {
 	}
 	if *timeline {
 		fmt.Print(rep.Timeline(b, 100))
+	}
+	return nil
+}
+
+// traceCmd replays a benchmark with the obs recorder enabled and
+// exports the recording.
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	benchPath := fs.String("bench", "", "benchmark file (mutually exclusive with -magritte)")
+	spec := fs.String("magritte", "", "Magritte trace name to generate and replay (e.g. pages_docphoto15)")
+	genScale := fs.Float64("gen-scale", 0.02, "Magritte generation scale")
+	genSeed := fs.Int64("gen-seed", 5, "Magritte generation seed")
+	target := fs.String("target", "linux-ext4-ssd-noop", "target machine: platform-fs-device[-sched]")
+	method := fs.String("method", "artc", "replay method: artc | single | temporal | unconstrained")
+	out := fs.String("o", "-", "Chrome trace_event JSON output file (- = stdout)")
+	interval := fs.Duration("probe-interval", 0, "min virtual time between counter samples (0 = default)")
+	spanCap := fs.Int("span-cap", 0, "span ring capacity (0 = default)")
+	critHops := fs.Int("crit-hops", 20, "critical-path rows to print (0 = all)")
+	quiet := fs.Bool("quiet", false, "suppress the text summary and critical path on stderr")
+	fs.Parse(args)
+
+	var b *artc.Benchmark
+	switch {
+	case *benchPath != "" && *spec != "":
+		return fmt.Errorf("-bench and -magritte are mutually exclusive")
+	case *benchPath != "":
+		bf, err := os.Open(*benchPath)
+		if err != nil {
+			return err
+		}
+		defer bf.Close()
+		if b, err = artc.Decode(bf); err != nil {
+			return err
+		}
+	case *spec != "":
+		sp, ok := magritte.SpecByName(*spec)
+		if !ok {
+			return fmt.Errorf("unknown Magritte trace %q", *spec)
+		}
+		gen, err := magritte.Generate(sp, magritte.GenOptions{Scale: *genScale, Seed: *genSeed})
+		if err != nil {
+			return err
+		}
+		if b, err = artc.Compile(gen.Trace, gen.Snapshot, core.DefaultModes()); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -bench or -magritte is required")
+	}
+
+	conf, err := targetConfig(*target, 0, 0)
+	if err != nil {
+		return err
+	}
+	rec := obs.NewRecorder(*spanCap, 0)
+	opts := artc.Options{
+		Method:      artc.Method(*method),
+		Obs:         rec,
+		ObsInterval: *interval,
+	}
+	k := sim.NewKernel()
+	sys := stack.New(k, conf)
+	if err := magritte.InitTarget(sys, b, conf.Platform == stack.Linux); err != nil {
+		return err
+	}
+	rep, err := artc.Replay(sys, b, opts)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.WriteChrome(w); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "replayed %d actions on %s in %v (virtual), errors=%d\n",
+			rep.Actions, conf.Name, rep.Elapsed, rep.Errors)
+		fmt.Fprint(os.Stderr, rec.Summary())
+		fmt.Fprint(os.Stderr, rep.CriticalPath(b).Format(*critHops))
 	}
 	return nil
 }

@@ -16,6 +16,9 @@ import (
 	"rootreplay/internal/artc"
 	"rootreplay/internal/core"
 	"rootreplay/internal/magritte"
+	"rootreplay/internal/obs"
+	"rootreplay/internal/sim"
+	"rootreplay/internal/stack"
 )
 
 // Stats is the serialized measurement.
@@ -34,6 +37,16 @@ type Stats struct {
 	TemporalEdges int `json:"temporal_edges"`
 	// Replay wall time (host) for one ARTC replay of the benchmark.
 	ReplayNs int64 `json:"replay_ns"`
+	// Observability: wall time of an obs-instrumented replay (the delta
+	// against ReplayNs is the recorder's enabled-path overhead), recorded
+	// volumes, and the replay's critical path.
+	ObsReplayNs       int64 `json:"obs_replay_ns"`
+	ObsSpans          int   `json:"obs_spans"`
+	ObsSamples        int   `json:"obs_samples"`
+	CritPathHops      int   `json:"critpath_hops"`
+	CritPathElapsedNs int64 `json:"critpath_elapsed_ns"`
+	CritPathInCallNs  int64 `json:"critpath_incall_ns"`
+	CritPathSlackNs   int64 `json:"critpath_slack_ns"`
 
 	GoVersion string `json:"go_version"`
 	NumCPU    int    `json:"num_cpu"`
@@ -92,6 +105,28 @@ func main() {
 	}
 	st.ReplayNs = time.Since(rt0).Nanoseconds()
 
+	rec := obs.NewRecorder(0, 0)
+	ot0 := time.Now()
+	k := sim.NewKernel()
+	sys := stack.New(k, magritte.DefaultSuiteOptions().Target)
+	if err := magritte.InitTarget(sys, b, true); err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat: obs init:", err)
+		os.Exit(1)
+	}
+	rep, err := artc.Replay(sys, b, artc.Options{Obs: rec})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat: obs replay:", err)
+		os.Exit(1)
+	}
+	st.ObsReplayNs = time.Since(ot0).Nanoseconds()
+	st.ObsSpans = len(rec.Spans())
+	st.ObsSamples = len(rec.Samples())
+	cp := rep.CriticalPath(b)
+	st.CritPathHops = len(cp.Hops)
+	st.CritPathElapsedNs = cp.Elapsed.Nanoseconds()
+	st.CritPathInCallNs = cp.InCall.Nanoseconds()
+	st.CritPathSlackNs = cp.Slack.Nanoseconds()
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "perfstat:", err)
@@ -110,4 +145,7 @@ func main() {
 	fmt.Printf("perfstat: %d records, compile %.2f ms (%.0f records/s), edges raw=%d enforced=%d temporal=%d -> %s\n",
 		st.Records, float64(perOp)/1e6, st.RecordsPerSecond,
 		st.RawEdges, st.EnforcedEdges, st.TemporalEdges, *out)
+	fmt.Printf("perfstat: obs replay %.2f ms (plain %.2f ms), %d spans, %d samples, critical path %d hops (in-call %v, slack %v)\n",
+		float64(st.ObsReplayNs)/1e6, float64(st.ReplayNs)/1e6, st.ObsSpans, st.ObsSamples,
+		st.CritPathHops, cp.InCall, cp.Slack)
 }

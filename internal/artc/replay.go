@@ -7,9 +7,11 @@ import (
 	"time"
 
 	"rootreplay/internal/core"
+	"rootreplay/internal/obs"
 	"rootreplay/internal/sim"
 	"rootreplay/internal/snapshot"
 	"rootreplay/internal/stack"
+	"rootreplay/internal/storage"
 	"rootreplay/internal/trace"
 	"rootreplay/internal/vfs"
 )
@@ -51,7 +53,9 @@ type Options struct {
 	// trace's fsync on an OS X target: F_FULLFSYNC instead of plain
 	// fsync (§4.3.4).
 	FullFsyncOnOSX bool
-	// MaxErrorSamples bounds the retained mismatch descriptions.
+	// MaxErrorSamples bounds the retained mismatch descriptions. Zero
+	// selects the default of 10 (callers cannot disable retention by
+	// leaving the field unset); a negative value retains none.
 	MaxErrorSamples int
 	// SelfCheck re-validates the executed order against the dependency
 	// graph after replay (a replayer assertion, cheap and on by default
@@ -63,6 +67,14 @@ type Options struct {
 	// without recompiling (§4.1 "Flexibility"). Only meaningful with
 	// MethodARTC.
 	Modes *core.ModeSet
+	// Obs, when non-nil, receives per-action spans and kernel/stack
+	// counter samples during the replay. Off by default; the disabled
+	// path costs one pointer check per action.
+	Obs *obs.Recorder
+	// ObsInterval is the minimum virtual time between counter-probe
+	// sweeps; non-positive selects obs.DefaultProbeInterval. Only
+	// meaningful with Obs set.
+	ObsInterval time.Duration
 }
 
 // Report is the replayer's detailed output (§4.3.3): wall-clock time,
@@ -95,6 +107,10 @@ type Report struct {
 	PerThread map[int]time.Duration
 	// Graph summarizes the dependency structure replay enforced.
 	Graph core.GraphStats
+
+	// graph retains the enforced dependency graph for post-hoc analysis
+	// (CriticalPath); unexported so reports stay JSON-light.
+	graph *core.Graph
 }
 
 // Concurrency returns the mean number of outstanding system calls
@@ -104,6 +120,16 @@ func (r *Report) Concurrency() float64 {
 		return 0
 	}
 	return float64(r.ThreadTime) / float64(r.Elapsed)
+}
+
+// CriticalPath computes the replay's longest dependency chain from the
+// recorded per-action times and the enforced graph. b must be the
+// benchmark the report came from.
+func (r *Report) CriticalPath(b *Benchmark) *obs.CriticalPath {
+	if r.graph == nil {
+		return &obs.CriticalPath{}
+	}
+	return obs.Critical(r.graph, b.Trace.Records, r.IssueAt, r.DoneAt)
 }
 
 // Init restores the benchmark's initial snapshot into sys under prefix.
@@ -133,14 +159,32 @@ type replayState struct {
 	remaining []int32
 	issueAt   []time.Duration
 	doneAt    []time.Duration
-	conds     []*sim.Cond
-	fdMap     map[core.ResourceID]int64
-	aioMap    map[core.ResourceID]int64
-	predelay  []time.Duration
-	start     time.Duration
+	// status tracks each action's lifecycle explicitly (actIssued,
+	// actDone bits). issueAt/doneAt alone cannot distinguish "not yet
+	// issued" from "legitimately issued at virtual time 0".
+	status   []uint8
+	conds    []*sim.Cond
+	fdMap    map[core.ResourceID]int64
+	aioMap   map[core.ResourceID]int64
+	predelay []time.Duration
+	start    time.Duration
+
+	// Observability (all nil/empty when opts.Obs is nil). releasedEdge[i]
+	// is the graph edge whose satisfaction zeroed remaining[i] (-1 if the
+	// action never had dependencies outstanding); releasedAt[i] is when.
+	obs          *obs.Recorder
+	releasedEdge []int32
+	releasedAt   []time.Duration
+	obsDetach    func()
 
 	rep *Report
 }
+
+// Action lifecycle bits in replayState.status.
+const (
+	actIssued uint8 = 1 << iota
+	actDone
+)
 
 // Replay executes the benchmark on sys (which must already be
 // initialized via Init) and runs the simulation to completion.
@@ -225,6 +269,7 @@ func start(sys *stack.System, b *Benchmark, opts Options) (*replayState, error) 
 		remaining: remaining,
 		issueAt:   make([]time.Duration, n),
 		doneAt:    make([]time.Duration, n),
+		status:    make([]uint8, n),
 		conds:     make([]*sim.Cond, n),
 		fdMap:     make(map[core.ResourceID]int64),
 		aioMap:    make(map[core.ResourceID]int64),
@@ -238,7 +283,44 @@ func start(sys *stack.System, b *Benchmark, opts Options) (*replayState, error) 
 			CallTime:  make(map[string]time.Duration),
 			CallCount: make(map[string]int64),
 			PerThread: make(map[int]time.Duration),
+			graph:     g,
 		},
+	}
+
+	if opts.Obs != nil {
+		rs.obs = opts.Obs
+		rs.releasedEdge = make([]int32, n)
+		for i := range rs.releasedEdge {
+			rs.releasedEdge[i] = -1
+		}
+		rs.releasedAt = make([]time.Duration, n)
+		probes := []obs.Probe{
+			{Kind: obs.CounterRunq, Fn: func() float64 { return float64(sys.K.RunqLen()) }},
+		}
+		if sys.Sched != nil {
+			probes = append(probes,
+				obs.Probe{Kind: obs.CounterIOQueued, Fn: func() float64 {
+					return float64(sys.Sched.Outstanding() - sys.Sched.InFlight())
+				}},
+				obs.Probe{Kind: obs.CounterIOInflight, Fn: func() float64 {
+					return float64(sys.Sched.InFlight())
+				}})
+		}
+		if sys.Dev != nil {
+			// Windowed utilization: busy-time delta over the virtual time
+			// since the previous sweep, in percent.
+			par := sys.Dev.Parallelism()
+			lastBusy := sys.Dev.Stats().BusyTime
+			lastAt := sys.K.Now()
+			probes = append(probes, obs.Probe{Kind: obs.CounterDevUtil, Fn: func() float64 {
+				now := sys.K.Now()
+				busy := sys.Dev.Stats().BusyTime
+				u := storage.Stats{BusyTime: busy - lastBusy}.Util(now-lastAt, par)
+				lastBusy, lastAt = busy, now
+				return u * 100
+			}})
+		}
+		rs.obsDetach = rs.obs.InstallProbes(sys.K, opts.ObsInterval, probes...)
 	}
 
 	if opts.Method == MethodSingle {
@@ -271,6 +353,10 @@ func start(sys *stack.System, b *Benchmark, opts Options) (*replayState, error) 
 
 // finish assembles the report after the simulation has run.
 func (rs *replayState) finish() (*Report, error) {
+	if rs.obsDetach != nil {
+		rs.obsDetach()
+		rs.obsDetach = nil
+	}
 	rs.finishReport()
 	if rs.opts.SelfCheck {
 		if err := rs.g.ValidateOrder(rs.issueAt, rs.doneAt); err != nil {
@@ -308,24 +394,46 @@ func (rs *replayState) condOf(i int) *sim.Cond {
 	return rs.conds[i]
 }
 
-// depSatisfied records that one of to's dependency edges is satisfied;
-// the decrement that empties the counter wakes to's replay thread, if it
-// is already parked on the action.
-func (rs *replayState) depSatisfied(to int) {
+// depSatisfied records that edge ei (one of To's dependency edges) is
+// satisfied; the decrement that empties the counter wakes To's replay
+// thread, if it is already parked on the action. A counter driven
+// negative means the graph's Indegree disagrees with its edge list — a
+// construction bug that would otherwise surface as a silent ordering
+// violation, so it panics instead.
+func (rs *replayState) depSatisfied(ei int) {
+	e := &rs.g.Edges[ei]
+	to := e.To
 	rs.remaining[to]--
-	if rs.remaining[to] == 0 && rs.conds[to] != nil {
-		rs.conds[to].Signal()
+	switch {
+	case rs.remaining[to] == 0:
+		if rs.obs != nil {
+			rs.releasedEdge[to] = int32(ei)
+			rs.releasedAt[to] = rs.sys.K.Now() - rs.start
+		}
+		if rs.conds[to] != nil {
+			rs.conds[to].Signal()
+		}
+	case rs.remaining[to] < 0:
+		panic(fmt.Sprintf(
+			"artc: dependency counter underflow on action %d (edge %d->%d satisfied after count reached zero): malformed graph",
+			to, e.From, to))
 	}
 }
 
 // waitReason describes why action idx is blocked; it is only rendered
-// for deadlock reports, never on the replay fast path.
+// for deadlock reports, never on the replay fast path. It names the
+// first genuinely unsatisfied dependency edge, judged by the
+// predecessor's explicit lifecycle bits — issueAt/doneAt times cannot
+// be used here because an action legitimately issued at virtual time 0
+// is indistinguishable from one that never ran.
 func (rs *replayState) waitReason(idx int) string {
-	// Predecessors that have not issued yet still hold a zero issueAt;
-	// naming one of them is enough to make a deadlock report actionable.
 	for _, ei := range rs.g.Deps[idx] {
 		e := rs.g.Edges[ei]
-		if rs.issueAt[e.From] == 0 && rs.doneAt[e.From] == 0 {
+		sat := rs.status[e.From]&actDone != 0
+		if e.Kind == core.WaitIssue {
+			sat = rs.status[e.From]&actIssued != 0
+		}
+		if !sat {
 			return fmt.Sprintf("action %d: %d dep(s) left, e.g. on action %d (%s)",
 				idx, rs.remaining[idx], e.From, e.Res)
 		}
@@ -337,23 +445,31 @@ func (rs *replayState) waitReason(idx int) string {
 // predelay, and executes it, releasing successor edges at issue and
 // completion.
 func (rs *replayState) playAction(t *sim.Thread, idx int) {
+	var waitStart time.Duration
+	if rs.obs != nil {
+		waitStart = rs.sys.K.Now() - rs.start
+	}
 	if rs.remaining[idx] > 0 {
 		c := rs.condOf(idx)
 		for rs.remaining[idx] > 0 {
 			c.WaitFn(t, func() string { return rs.waitReason(idx) })
 		}
 	}
+	var slept time.Duration
 	switch rs.opts.Speed {
 	case Natural:
-		t.Sleep(rs.predelay[idx])
+		slept = rs.predelay[idx]
+		t.Sleep(slept)
 	case Scaled:
-		t.Sleep(time.Duration(float64(rs.predelay[idx]) * rs.opts.Scale))
+		slept = time.Duration(float64(rs.predelay[idx]) * rs.opts.Scale)
+		t.Sleep(slept)
 	}
 	now := rs.sys.K.Now()
 	rs.issueAt[idx] = now - rs.start
+	rs.status[idx] |= actIssued
 	for _, ei := range rs.g.Succs[idx] {
-		if e := &rs.g.Edges[ei]; e.Kind == core.WaitIssue {
-			rs.depSatisfied(e.To)
+		if rs.g.Edges[ei].Kind == core.WaitIssue {
+			rs.depSatisfied(ei)
 		}
 	}
 
@@ -361,9 +477,10 @@ func (rs *replayState) playAction(t *sim.Thread, idx int) {
 
 	end := rs.sys.K.Now()
 	rs.doneAt[idx] = end - rs.start
+	rs.status[idx] |= actDone
 	for _, ei := range rs.g.Succs[idx] {
-		if e := &rs.g.Edges[ei]; e.Kind == core.WaitComplete {
-			rs.depSatisfied(e.To)
+		if rs.g.Edges[ei].Kind == core.WaitComplete {
+			rs.depSatisfied(ei)
 		}
 	}
 
@@ -375,6 +492,27 @@ func (rs *replayState) playAction(t *sim.Thread, idx int) {
 	rs.rep.PerThread[rec.TID] += d
 	if emulated {
 		rs.rep.Emulated++
+	}
+	if rs.obs != nil {
+		sp := obs.Span{
+			Action:     int32(idx),
+			TID:        int32(rec.TID),
+			Call:       rec.Call,
+			WaitStart:  waitStart,
+			Issue:      rs.issueAt[idx],
+			Done:       rs.doneAt[idx],
+			Predelay:   slept,
+			ReleasedBy: -1,
+		}
+		if re := rs.releasedEdge[idx]; re >= 0 {
+			e := &rs.g.Edges[re]
+			sp.ReleasedBy = int32(e.From)
+			sp.ReleasedAt = rs.releasedAt[idx]
+			if e.Res != (core.ResourceID{}) {
+				sp.ReleaseRes = e.Res.String()
+			}
+		}
+		rs.obs.Record(sp)
 	}
 	rs.compare(idx, rec, ret, errno)
 }

@@ -234,7 +234,10 @@ func TestMergedTraceReplay(t *testing.T) {
 	conf := defaultConf()
 	trA, snapA := traceWorkloadPlain(t, conf, "/appA")
 	trB, snapB := traceWorkloadPlain(t, conf, "/appB")
-	merged := trace.Merge(trA, trB)
+	merged, err := trace.Merge(trA, trB)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(merged.Records) != len(trA.Records)+len(trB.Records) {
 		t.Fatalf("merged %d records", len(merged.Records))
 	}

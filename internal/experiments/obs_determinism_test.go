@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"rootreplay/internal/artc"
+	"rootreplay/internal/core"
+	"rootreplay/internal/magritte"
+	"rootreplay/internal/obs"
+	"rootreplay/internal/sim"
+	"rootreplay/internal/stack"
+)
+
+// TestChromeExportDeterministic replays a Magritte benchmark twice with
+// the observability recorder enabled under forced parallelism and
+// requires the Chrome trace_event export — spans, flow events, counter
+// samples, and the critical-path report — to be byte-identical. The
+// export is the full recorded history of the replay, so this is the
+// strongest determinism check the repo has: any scheduling or probe
+// nondeterminism shows up as a byte diff.
+func TestChromeExportDeterministic(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+
+	spec, ok := magritte.SpecByName("pages_docphoto15")
+	if !ok {
+		t.Fatal("spec missing")
+	}
+	gen, err := magritte.Generate(spec, magritte.GenOptions{Scale: 0.02, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := artc.Compile(gen.Trace, gen.Snapshot, core.DefaultModes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() ([]byte, string) {
+		rec := obs.NewRecorder(0, 0)
+		k := sim.NewKernel()
+		sys := stack.New(k, magritte.DefaultSuiteOptions().Target)
+		if err := magritte.InitTarget(sys, b, true); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := artc.Replay(sys, b, artc.Options{Obs: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), rep.CriticalPath(b).Format(0)
+	}
+
+	export1, crit1 := run()
+	export2, crit2 := run()
+	if !bytes.Equal(export1, export2) {
+		t.Fatal("Chrome trace export differs between identical replays")
+	}
+	if crit1 != crit2 {
+		t.Fatalf("critical-path report differs between identical replays:\n--- run 1:\n%s\n--- run 2:\n%s", crit1, crit2)
+	}
+
+	// The export must be loadable JSON with the expected event shapes.
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			PID int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(export1, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("export has no events")
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Ph]++
+	}
+	for _, ph := range []string{"M", "X", "C", "s", "f"} {
+		if phases[ph] == 0 {
+			t.Fatalf("export has no %q events: %v", ph, phases)
+		}
+	}
+}

@@ -121,6 +121,10 @@ func fmtDur(d time.Duration) string {
 	}
 }
 
+// FmtDur renders a duration with the same benchmark-friendly precision
+// Table uses, for report renderers that format cells themselves.
+func FmtDur(d time.Duration) string { return fmtDur(d) }
+
 // String renders the table with aligned columns.
 func (t *Table) String() string {
 	widths := make([]int, len(t.header))

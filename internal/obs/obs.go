@@ -1,0 +1,260 @@
+// Package obs is the replayer's observability layer: a low-overhead,
+// ring-buffered recorder for per-action spans and virtual-clock counter
+// samples, a critical-path analysis over the enforced dependency graph,
+// and exporters (Chrome trace_event JSON for Perfetto, fixed-width text
+// summaries).
+//
+// Recording is off by default: the replayer only touches the recorder
+// when one is supplied, and a nil *Recorder is a safe no-op for every
+// method, so the disabled path costs a pointer check. When enabled, the
+// recorder appends into preallocated-capacity rings and never allocates
+// per event once the rings have grown to capacity; when a ring fills,
+// the oldest entries are overwritten and the drop is counted rather than
+// ever blocking or growing without bound.
+//
+// All times are virtual (sim-kernel) durations relative to replay start,
+// so recorded data — and every export derived from it — is deterministic
+// across runs and hosts.
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"rootreplay/internal/sim"
+)
+
+// Span is one replayed action's lifecycle: when its replay thread began
+// waiting to issue it, when it issued, and when it completed, plus the
+// predelay sleep applied and the dependency edge whose satisfaction
+// released it.
+type Span struct {
+	// Action is the trace index of the action.
+	Action int32
+	// TID is the traced thread the action belongs to.
+	TID int32
+	// Call is the traced call name ("open", "pread", ...).
+	Call string
+	// WaitStart is when the replay thread reached this action;
+	// WaitStart..Issue covers dependency wait plus any predelay sleep.
+	WaitStart time.Duration
+	// Issue and Done bracket the in-call time.
+	Issue, Done time.Duration
+	// Predelay is the inter-call gap slept before issuing (zero under
+	// AFAP replay).
+	Predelay time.Duration
+	// ReleasedBy is the action whose issue/completion satisfied this
+	// action's final dependency edge, or -1 if the action never parked
+	// with unsatisfied dependencies.
+	ReleasedBy int32
+	// ReleasedAt is the virtual time the final dependency edge was
+	// satisfied (meaningful when ReleasedBy >= 0).
+	ReleasedAt time.Duration
+	// ReleaseRes names the resource of the satisfying edge ("" if none).
+	ReleaseRes string
+}
+
+// Wait returns the span's pre-issue time (dependency wait + predelay).
+func (s *Span) Wait() time.Duration { return s.Issue - s.WaitStart }
+
+// InCall returns the span's in-call service time.
+func (s *Span) InCall() time.Duration { return s.Done - s.Issue }
+
+// CounterKind identifies a sampled counter track.
+type CounterKind uint8
+
+// Counter tracks the kernel/stack probes sample.
+const (
+	// CounterRunq is the sim kernel's run-queue length: replay threads
+	// ready to run but not running.
+	CounterRunq CounterKind = iota
+	// CounterIOQueued is the I/O scheduler's queued depth (submitted to
+	// the scheduler, not yet dispatched to the device).
+	CounterIOQueued
+	// CounterIOInflight is the device's in-flight request count.
+	CounterIOInflight
+	// CounterDevUtil is device utilization over the sampling window, in
+	// percent, normalized by device parallelism.
+	CounterDevUtil
+
+	numCounters
+)
+
+// String names the counter track as it appears in exports.
+func (k CounterKind) String() string {
+	switch k {
+	case CounterRunq:
+		return "runq"
+	case CounterIOQueued:
+		return "io_queued"
+	case CounterIOInflight:
+		return "io_inflight"
+	case CounterDevUtil:
+		return "dev_util_pct"
+	default:
+		return fmt.Sprintf("counter_%d", uint8(k))
+	}
+}
+
+// Sample is one counter observation on the virtual clock.
+type Sample struct {
+	At    time.Duration
+	Kind  CounterKind
+	Value float64
+}
+
+// Default ring capacities.
+const (
+	DefaultSpanCap   = 1 << 16
+	DefaultSampleCap = 1 << 14
+)
+
+// Recorder collects spans and samples into bounded rings. The zero value
+// is not usable; call NewRecorder. A nil *Recorder is a valid no-op
+// receiver for every method.
+type Recorder struct {
+	spans    []Span
+	spanCap  int
+	spanHead int // next overwrite position once len == cap
+	spanDrop int
+
+	samples    []Sample
+	sampleCap  int
+	sampleHead int
+	sampleDrop int
+
+	// last recorded value per counter, for change-only sampling.
+	lastVal   [numCounters]float64
+	lastValid [numCounters]bool
+}
+
+// NewRecorder returns a recorder whose span and sample rings hold at
+// most the given numbers of entries; values <= 0 select the defaults.
+func NewRecorder(spanCap, sampleCap int) *Recorder {
+	if spanCap <= 0 {
+		spanCap = DefaultSpanCap
+	}
+	if sampleCap <= 0 {
+		sampleCap = DefaultSampleCap
+	}
+	return &Recorder{spanCap: spanCap, sampleCap: sampleCap}
+}
+
+// Record appends a span, overwriting the oldest when the ring is full.
+func (r *Recorder) Record(sp Span) {
+	if r == nil {
+		return
+	}
+	if len(r.spans) < r.spanCap {
+		r.spans = append(r.spans, sp)
+		return
+	}
+	r.spans[r.spanHead] = sp
+	r.spanHead = (r.spanHead + 1) % r.spanCap
+	r.spanDrop++
+}
+
+// Sample appends a counter observation. Consecutive identical values on
+// the same track are coalesced (counters render as steps, so repeats
+// carry no information), keeping tracks small.
+func (r *Recorder) Sample(at time.Duration, kind CounterKind, v float64) {
+	if r == nil {
+		return
+	}
+	if int(kind) < len(r.lastVal) {
+		if r.lastValid[kind] && r.lastVal[kind] == v {
+			return
+		}
+		r.lastVal[kind] = v
+		r.lastValid[kind] = true
+	}
+	s := Sample{At: at, Kind: kind, Value: v}
+	if len(r.samples) < r.sampleCap {
+		r.samples = append(r.samples, s)
+		return
+	}
+	r.samples[r.sampleHead] = s
+	r.sampleHead = (r.sampleHead + 1) % r.sampleCap
+	r.sampleDrop++
+}
+
+// Spans returns the recorded spans in record order (oldest first). The
+// returned slice is a copy.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(r.spans))
+	out = append(out, r.spans[r.spanHead:]...)
+	out = append(out, r.spans[:r.spanHead]...)
+	return out
+}
+
+// Samples returns the recorded counter samples in record order (oldest
+// first). The returned slice is a copy.
+func (r *Recorder) Samples() []Sample {
+	if r == nil {
+		return nil
+	}
+	out := make([]Sample, 0, len(r.samples))
+	out = append(out, r.samples[r.sampleHead:]...)
+	out = append(out, r.samples[:r.sampleHead]...)
+	return out
+}
+
+// Dropped reports how many spans and samples were overwritten by ring
+// wrap-around.
+func (r *Recorder) Dropped() (spans, samples int) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.spanDrop, r.sampleDrop
+}
+
+// Reset clears recorded data, keeping capacities.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.spans = r.spans[:0]
+	r.spanHead, r.spanDrop = 0, 0
+	r.samples = r.samples[:0]
+	r.sampleHead, r.sampleDrop = 0, 0
+	r.lastVal = [numCounters]float64{}
+	r.lastValid = [numCounters]bool{}
+}
+
+// Probe binds a counter track to a sampling function.
+type Probe struct {
+	Kind CounterKind
+	Fn   func() float64
+}
+
+// DefaultProbeInterval is the minimum virtual time between probe
+// sweeps when InstallProbes is given a non-positive interval.
+const DefaultProbeInterval = 100 * time.Microsecond
+
+// InstallProbes hooks the probes into k's scheduling loop: at every
+// scheduling point, if at least interval of virtual time has passed
+// since the last sweep, each probe is invoked and its value recorded.
+// Probes therefore add no events to the kernel and cannot keep a
+// simulation alive. The returned func detaches the hook.
+func (r *Recorder) InstallProbes(k *sim.Kernel, interval time.Duration, probes ...Probe) (remove func()) {
+	if r == nil || len(probes) == 0 {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	last := time.Duration(-1)
+	return k.AddSchedHook(func() {
+		now := k.Now()
+		if last >= 0 && now-last < interval {
+			return
+		}
+		last = now
+		for _, p := range probes {
+			r.Sample(now, p.Kind, p.Fn())
+		}
+	})
+}

@@ -74,6 +74,9 @@ func (s *Deadline) Name() string { return "deadline" }
 // Outstanding implements Scheduler.
 func (s *Deadline) Outstanding() int { return s.outstanding }
 
+// InFlight implements Scheduler.
+func (s *Deadline) InFlight() int { return s.inDevice }
+
 // Submit implements Scheduler.
 func (s *Deadline) Submit(r *storage.Request, done func()) {
 	s.outstanding++

@@ -33,6 +33,10 @@ type Scheduler interface {
 	Submit(r *storage.Request, done func())
 	// Outstanding reports requests submitted but not yet completed.
 	Outstanding() int
+	// InFlight reports requests dispatched to the device but not yet
+	// completed; Outstanding() - InFlight() is the scheduler's queued
+	// depth. Observability probes sample both.
+	InFlight() int
 }
 
 // Noop dispatches requests straight to the device in arrival order.
@@ -49,6 +53,10 @@ func (s *Noop) Name() string { return "noop" }
 
 // Outstanding implements Scheduler.
 func (s *Noop) Outstanding() int { return s.outstanding }
+
+// InFlight implements Scheduler; Noop holds nothing back, so every
+// outstanding request is at the device.
+func (s *Noop) InFlight() int { return s.outstanding }
 
 // Submit implements Scheduler.
 func (s *Noop) Submit(r *storage.Request, done func()) {
@@ -151,6 +159,9 @@ func (s *CFQ) Name() string { return "cfq" }
 
 // Outstanding implements Scheduler.
 func (s *CFQ) Outstanding() int { return s.outstanding }
+
+// InFlight implements Scheduler.
+func (s *CFQ) InFlight() int { return s.inDevice }
 
 // Submit implements Scheduler.
 func (s *CFQ) Submit(r *storage.Request, done func()) {

@@ -132,9 +132,39 @@ type Kernel struct {
 	nextID  int
 	threads []*Thread // all spawned threads, for deadlock reporting
 
+	// schedHooks run at every scheduling point in Run (before a thread is
+	// resumed or a timed event dispatched). Observability probes hang off
+	// them; with none installed the cost is a single length check.
+	schedHooks []*schedHook
+
 	// stopped is set by Stop to abort Run at the next scheduling point.
 	stopped bool
 }
+
+// schedHook wraps a hook function so AddSchedHook can identify it for
+// removal (func values are not comparable).
+type schedHook struct{ fn func() }
+
+// AddSchedHook installs fn to run at every scheduling point of Run: just
+// before a thread is resumed or a timed event is dispatched. Hooks are
+// for sampling probes (run-queue depth, device state) and must not block
+// or spawn. The returned func removes the hook; removing during Run takes
+// effect at the next scheduling point.
+func (k *Kernel) AddSchedHook(fn func()) (remove func()) {
+	h := &schedHook{fn: fn}
+	k.schedHooks = append(k.schedHooks, h)
+	return func() {
+		for i, cand := range k.schedHooks {
+			if cand == h {
+				k.schedHooks = append(k.schedHooks[:i], k.schedHooks[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// RunqLen reports the number of runnable (queued, not running) threads.
+func (k *Kernel) RunqLen() int { return len(k.runq) }
 
 // NewKernel returns a kernel with the clock at zero.
 func NewKernel() *Kernel {
@@ -210,6 +240,11 @@ func (e *DeadlockError) Error() string {
 // live threads remain blocked with no pending events, and nil otherwise.
 func (k *Kernel) Run() error {
 	for !k.stopped {
+		if len(k.schedHooks) > 0 {
+			for _, h := range k.schedHooks {
+				h.fn()
+			}
+		}
 		if len(k.runq) > 0 {
 			t := k.runq[0]
 			copy(k.runq, k.runq[1:])

@@ -66,6 +66,27 @@ type Stats struct {
 	TransferTime time.Duration
 }
 
+// Util returns the fraction of the elapsed interval the device was busy,
+// normalized by parallelism (a saturated 8-channel SSD reports 1.0, not
+// 8.0). Callers sampling utilization over a window subtract two BusyTime
+// snapshots and pass the delta in a Stats value.
+func (s Stats) Util(elapsed time.Duration, parallelism int) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	u := float64(s.BusyTime) / float64(elapsed) / float64(parallelism)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
 // Device is a block device that services requests in virtual time.
 // Submit never blocks; done is invoked in kernel context at the virtual
 // time the request completes. Devices may reorder queued requests

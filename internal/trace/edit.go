@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"sort"
 	"time"
 )
@@ -47,15 +48,22 @@ func (tr *Trace) Window(from, to time.Duration) *Trace {
 // Merge interleaves several traces into one by start time, remapping
 // thread IDs so different inputs never share a thread, and remapping
 // descriptor numbers into per-input ranges so a descriptor number used
-// by two inputs is not mistaken for a shared resource. Inputs must share
-// a platform; the result is renumbered.
-func Merge(traces ...*Trace) *Trace {
+// by two inputs is not mistaken for a shared resource. Inputs must all
+// record the same platform — a merged replay runs against one syscall
+// surface, so mixing platforms is an error, not a silent pick of the
+// first. The result is renumbered.
+func Merge(traces ...*Trace) (*Trace, error) {
 	out := &Trace{}
 	const tidStride = 1000
 	const fdStride = 100000
 	for i, tr := range traces {
-		if out.Platform == "" {
-			out.Platform = tr.Platform
+		if tr.Platform != "" {
+			if out.Platform == "" {
+				out.Platform = tr.Platform
+			} else if tr.Platform != out.Platform {
+				return nil, fmt.Errorf("trace: merge input %d is %q, earlier inputs are %q",
+					i, tr.Platform, out.Platform)
+			}
 		}
 		for _, r := range tr.Records {
 			cp := *r
@@ -68,10 +76,8 @@ func Merge(traces ...*Trace) *Trace {
 			if cp.FD2 != 0 {
 				cp.FD2 += int64(i+1) * fdStride
 			}
-			if cp.Call == "open" || cp.Call == "creat" || cp.Call == "dup" {
-				if cp.Ret > 0 {
-					cp.Ret += int64(i+1) * fdStride
-				}
+			if createsFDInRet(&cp) && cp.Ret > 0 {
+				cp.Ret += int64(i+1) * fdStride
 			}
 			if cp.AIO != 0 {
 				cp.AIO += int64(i+1) * fdStride
@@ -83,5 +89,22 @@ func Merge(traces ...*Trace) *Trace {
 		return out.Records[a].Start < out.Records[b].Start
 	})
 	out.Renumber()
-	return out
+	return out, nil
+}
+
+// createsFDInRet reports whether a record's return value is a new
+// descriptor number and must be remapped alongside FD/FD2. Besides the
+// obvious creators, fcntl(F_DUPFD) returns a duplicate descriptor; a
+// merge that leaves its Ret unmapped splices the duplicate into another
+// input's descriptor range. Call names are matched literally (including
+// the fcntl64 spelling) because this package sits below the stack's
+// canonicalization layer.
+func createsFDInRet(r *Record) bool {
+	switch r.Call {
+	case "open", "open64", "creat", "dup":
+		return true
+	case "fcntl", "fcntl64":
+		return r.Name == "F_DUPFD"
+	}
+	return false
 }

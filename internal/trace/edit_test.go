@@ -53,7 +53,10 @@ func TestMergeDisjointThreadsAndFDs(t *testing.T) {
 		{TID: 1, Call: "open", Path: "/b", Ret: 3, Start: 5, End: 15},
 		{TID: 1, Call: "close", FD: 3, Ret: 0, Start: 25, End: 26},
 	}}
-	m := Merge(a, b)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
 	if len(m.Records) != 4 {
 		t.Fatalf("merged records = %d", len(m.Records))
 	}
@@ -82,8 +85,61 @@ func TestMergeDisjointThreadsAndFDs(t *testing.T) {
 
 func TestMergePlatform(t *testing.T) {
 	a := &Trace{Platform: "osx", Records: []*Record{{TID: 1, Call: "sync"}}}
-	m := Merge(a)
+	m, err := Merge(a)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
 	if m.Platform != "osx" {
 		t.Fatalf("platform = %s", m.Platform)
+	}
+}
+
+func TestMergePlatformMismatchRejected(t *testing.T) {
+	a := &Trace{Platform: "osx", Records: []*Record{{TID: 1, Call: "sync"}}}
+	b := &Trace{Platform: "linux", Records: []*Record{{TID: 1, Call: "sync"}}}
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("merging osx with linux should fail")
+	}
+	// A platform-less input (e.g. synthetic) merges with anything.
+	c := &Trace{Records: []*Record{{TID: 1, Call: "sync"}}}
+	m, err := Merge(c, a)
+	if err != nil {
+		t.Fatalf("Merge with platform-less input: %v", err)
+	}
+	if m.Platform != "osx" {
+		t.Fatalf("platform = %s, want osx", m.Platform)
+	}
+}
+
+func TestMergeRemapsFcntlDupFD(t *testing.T) {
+	// Input b duplicates fd 3 to fd 7 via fcntl(F_DUPFD) and then reads
+	// from the duplicate; the duplicate's number must be remapped into
+	// b's descriptor range along with everything else.
+	a := &Trace{Platform: "linux", Records: []*Record{
+		{TID: 1, Call: "open", Path: "/a", Ret: 7, Start: 0, End: 1},
+	}}
+	b := &Trace{Platform: "linux", Records: []*Record{
+		{TID: 1, Call: "open", Path: "/b", Ret: 3, Start: 2, End: 3},
+		{TID: 1, Call: "fcntl", Name: "F_DUPFD", FD: 3, Ret: 7, Start: 4, End: 5},
+		{TID: 1, Call: "read", FD: 7, Size: 10, Ret: 10, Start: 6, End: 7},
+	}}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	// Records sorted by start: a.open, b.open, b.fcntl, b.read.
+	dup, rd := m.Records[2], m.Records[3]
+	if dup.Call != "fcntl" || rd.Call != "read" {
+		t.Fatalf("unexpected order: %s, %s", dup.Call, rd.Call)
+	}
+	if dup.Ret == 7 {
+		t.Fatalf("F_DUPFD return not remapped: %d", dup.Ret)
+	}
+	if dup.Ret != rd.FD {
+		t.Fatalf("F_DUPFD return %d does not match later read fd %d", dup.Ret, rd.FD)
+	}
+	// The duplicate must not collide with a's descriptor range.
+	if dup.Ret == m.Records[0].Ret {
+		t.Fatal("F_DUPFD duplicate collides with the other input's descriptor")
 	}
 }

@@ -1,12 +1,13 @@
 #!/bin/sh
 # CI gate: vet, race-enabled tests, a one-shot pass over the Compile
-# benchmark, then a perfstat snapshot so the perf trajectory is tracked
-# per PR (BENCH_<tag>.json).
+# benchmark, an export-determinism check under forced parallelism, then
+# a perfstat snapshot so the perf trajectory is tracked per PR
+# (BENCH_<tag>.json).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-tag="${1:-pr1}"
+tag="${1:-pr2}"
 
 echo "== go vet"
 go vet ./...
@@ -16,6 +17,14 @@ go test -race ./...
 
 echo "== go test -bench=Compile -benchtime=1x"
 go test -run '^$' -bench 'Compile' -benchtime 1x -benchmem .
+
+echo "== determinism: byte-identical trace export under GOMAXPROCS=8"
+GOMAXPROCS=8 go test -count=1 -run 'Deterministic' ./internal/experiments/
+go build -o /tmp/artc-ci ./cmd/artc
+GOMAXPROCS=8 /tmp/artc-ci trace -magritte pages_docphoto15 -quiet -o /tmp/ci-trace-1.json
+GOMAXPROCS=8 /tmp/artc-ci trace -magritte pages_docphoto15 -quiet -o /tmp/ci-trace-2.json
+cmp /tmp/ci-trace-1.json /tmp/ci-trace-2.json
+rm -f /tmp/artc-ci /tmp/ci-trace-1.json /tmp/ci-trace-2.json
 
 echo "== perfstat -> BENCH_${tag}.json"
 go run ./cmd/perfstat -o "BENCH_${tag}.json"
