@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench perfstat ci
+.PHONY: build test race vet bench perfstat profile ci
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,18 @@ vet:
 
 bench:
 	$(GO) test -run '^$$' -bench 'Compile' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'Kernel|OracleHeap' -benchmem ./internal/sim/
+	$(GO) run ./cmd/perfstat -o BENCH_pr3.json
+	@if [ -f BENCH_pr2.json ]; then $(GO) run ./cmd/benchcmp BENCH_pr2.json BENCH_pr3.json; fi
 
 perfstat:
-	$(GO) run ./cmd/perfstat -o BENCH_pr1.json
+	$(GO) run ./cmd/perfstat -o BENCH_pr3.json
+
+# CPU and heap profiles of the perfstat workload (compile + replay +
+# kernel microbenchmarks); inspect with `go tool pprof cpu.out`.
+profile:
+	$(GO) run ./cmd/perfstat -o /dev/null -cpuprofile cpu.out -memprofile mem.out
+	@echo "wrote cpu.out and mem.out; open with: $(GO) tool pprof cpu.out"
 
 ci:
 	./scripts/ci.sh

@@ -1,0 +1,94 @@
+// Command benchcmp prints a benchstat-style comparison of two perfstat
+// JSON records (BENCH_<tag>.json): every numeric field the two files
+// share, with old value, new value, and the percentage delta. Exits
+// non-zero on malformed input, never on a regression — the numbers are
+// for humans and CI logs, not a gate.
+//
+// Usage: benchcmp OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func load(path string) (map[string]interface{}, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldM, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	newM, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+
+	var keys []string
+	for k, ov := range oldM {
+		if _, isNum := ov.(float64); !isNum {
+			continue
+		}
+		if _, ok := newM[k].(float64); ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	width := len("metric")
+	for _, k := range keys {
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	fmt.Printf("%-*s  %14s  %14s  %8s\n", width, "metric", "old", "new", "delta")
+	for _, k := range keys {
+		ov := oldM[k].(float64)
+		nv := newM[k].(float64)
+		delta := "~"
+		if ov != 0 {
+			pct := (nv - ov) / ov * 100
+			// Counting fields (iters, edges, spans…) matching exactly is
+			// the interesting case; rates and times get the percentage.
+			if pct == 0 {
+				delta = "0.00%"
+			} else {
+				delta = fmt.Sprintf("%+.2f%%", pct)
+			}
+		} else if nv != 0 {
+			delta = "new"
+		}
+		fmt.Printf("%-*s  %14s  %14s  %8s\n", width, k, formatNum(ov), formatNum(nv), delta)
+	}
+}
+
+// formatNum renders integers without a mantissa and everything else
+// with two decimals, keeping columns readable for both edge counts and
+// ns/op values.
+func formatNum(v float64) string {
+	if v == float64(int64(v)) {
+		s := fmt.Sprintf("%d", int64(v))
+		return s
+	}
+	s := fmt.Sprintf("%.2f", v)
+	return strings.TrimRight(strings.TrimRight(s, "0"), ".")
+}

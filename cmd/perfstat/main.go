@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"testing"
 	"time"
 
 	"rootreplay/internal/artc"
@@ -18,6 +20,7 @@ import (
 	"rootreplay/internal/magritte"
 	"rootreplay/internal/obs"
 	"rootreplay/internal/sim"
+	"rootreplay/internal/sim/simbench"
 	"rootreplay/internal/stack"
 )
 
@@ -47,17 +50,66 @@ type Stats struct {
 	CritPathElapsedNs int64 `json:"critpath_elapsed_ns"`
 	CritPathInCallNs  int64 `json:"critpath_incall_ns"`
 	CritPathSlackNs   int64 `json:"critpath_slack_ns"`
+	// Kernel microbenchmarks (internal/sim/simbench): the event-queue,
+	// wake, handoff, and completion hot paths in isolation.
+	KernelTimerChurnNsPerOp     float64 `json:"kernel_timer_churn_ns_per_op"`
+	KernelTimerChurnAllocsPerOp float64 `json:"kernel_timer_churn_allocs_per_op"`
+	KernelSleepChurnNsPerOp     float64 `json:"kernel_sleep_churn_ns_per_op"`
+	KernelPingPongNsPerOp       float64 `json:"kernel_pingpong_ns_per_op"`
+	KernelCompletionNsPerOp     float64 `json:"kernel_completion_ns_per_op"`
 
 	GoVersion string `json:"go_version"`
 	NumCPU    int    `json:"num_cpu"`
 }
 
+// microbench runs fn through the testing harness and returns ns/op and
+// allocs/op.
+func microbench(fn func(b *testing.B)) (nsPerOp, allocsPerOp float64) {
+	r := testing.Benchmark(fn)
+	if r.N == 0 {
+		return 0, 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N), float64(r.AllocsPerOp())
+}
+
 func main() {
-	out := flag.String("o", "BENCH_pr1.json", "output JSON path")
+	out := flag.String("o", "BENCH_pr3.json", "output JSON path")
 	name := flag.String("trace", "pages_docphoto15", "magritte trace name")
 	scale := flag.Float64("scale", 0.02, "magritte generation scale")
 	iters := flag.Int("iters", 5, "compile iterations to average")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfstat:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "perfstat:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "perfstat:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "perfstat:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	spec, ok := magritte.SpecByName(*name)
 	if !ok {
@@ -98,27 +150,42 @@ func main() {
 		st.RecordsPerSecond = float64(st.Records) / (float64(perOp) / 1e9)
 	}
 
-	rt0 := time.Now()
-	if _, _, err := magritte.ThreadTimeRun(b, magritte.DefaultSuiteOptions().Target, true); err != nil {
-		fmt.Fprintln(os.Stderr, "perfstat: replay:", err)
-		os.Exit(1)
+	// Minimum of a few runs: single-shot replay wall time swings by ~10%
+	// on a busy host, and the minimum is the least-noisy estimator of
+	// the true cost.
+	const replayRuns = 3
+	for i := 0; i < replayRuns; i++ {
+		rt0 := time.Now()
+		if _, _, err := magritte.ThreadTimeRun(b, magritte.DefaultSuiteOptions().Target, true); err != nil {
+			fmt.Fprintln(os.Stderr, "perfstat: replay:", err)
+			os.Exit(1)
+		}
+		if ns := time.Since(rt0).Nanoseconds(); i == 0 || ns < st.ReplayNs {
+			st.ReplayNs = ns
+		}
 	}
-	st.ReplayNs = time.Since(rt0).Nanoseconds()
 
-	rec := obs.NewRecorder(0, 0)
-	ot0 := time.Now()
-	k := sim.NewKernel()
-	sys := stack.New(k, magritte.DefaultSuiteOptions().Target)
-	if err := magritte.InitTarget(sys, b, true); err != nil {
-		fmt.Fprintln(os.Stderr, "perfstat: obs init:", err)
-		os.Exit(1)
+	var rec *obs.Recorder
+	var rep *artc.Report
+	for i := 0; i < replayRuns; i++ {
+		rec = obs.NewRecorder(0, 0)
+		ot0 := time.Now()
+		k := sim.NewKernel()
+		sys := stack.New(k, magritte.DefaultSuiteOptions().Target)
+		if err := magritte.InitTarget(sys, b, true); err != nil {
+			fmt.Fprintln(os.Stderr, "perfstat: obs init:", err)
+			os.Exit(1)
+		}
+		var err error
+		rep, err = artc.Replay(sys, b, artc.Options{Obs: rec})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfstat: obs replay:", err)
+			os.Exit(1)
+		}
+		if ns := time.Since(ot0).Nanoseconds(); i == 0 || ns < st.ObsReplayNs {
+			st.ObsReplayNs = ns
+		}
 	}
-	rep, err := artc.Replay(sys, b, artc.Options{Obs: rec})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "perfstat: obs replay:", err)
-		os.Exit(1)
-	}
-	st.ObsReplayNs = time.Since(ot0).Nanoseconds()
 	st.ObsSpans = len(rec.Spans())
 	st.ObsSamples = len(rec.Samples())
 	cp := rep.CriticalPath(b)
@@ -126,6 +193,11 @@ func main() {
 	st.CritPathElapsedNs = cp.Elapsed.Nanoseconds()
 	st.CritPathInCallNs = cp.InCall.Nanoseconds()
 	st.CritPathSlackNs = cp.Slack.Nanoseconds()
+
+	st.KernelTimerChurnNsPerOp, st.KernelTimerChurnAllocsPerOp = microbench(simbench.TimerChurn)
+	st.KernelSleepChurnNsPerOp, _ = microbench(simbench.SleepChurn)
+	st.KernelPingPongNsPerOp, _ = microbench(simbench.PingPong)
+	st.KernelCompletionNsPerOp, _ = microbench(simbench.CompletionStorm)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -148,4 +220,7 @@ func main() {
 	fmt.Printf("perfstat: obs replay %.2f ms (plain %.2f ms), %d spans, %d samples, critical path %d hops (in-call %v, slack %v)\n",
 		float64(st.ObsReplayNs)/1e6, float64(st.ReplayNs)/1e6, st.ObsSpans, st.ObsSamples,
 		st.CritPathHops, cp.InCall, cp.Slack)
+	fmt.Printf("perfstat: kernel timer churn %.1f ns/op (%.0f allocs/op), sleep %.1f ns/op, ping-pong %.1f ns/op, completion %.1f ns/op\n",
+		st.KernelTimerChurnNsPerOp, st.KernelTimerChurnAllocsPerOp,
+		st.KernelSleepChurnNsPerOp, st.KernelPingPongNsPerOp, st.KernelCompletionNsPerOp)
 }

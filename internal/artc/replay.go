@@ -153,7 +153,7 @@ type replayState struct {
 	// remaining[i] counts action i's unsatisfied dependency edges: it
 	// starts at the graph indegree and is decremented once per edge when
 	// the edge's From issues (WaitIssue) or completes (WaitComplete).
-	// The decrement that reaches zero signals conds[i] exactly once, so
+	// The decrement that reaches zero unparks waiting[i] exactly once, so
 	// a blocked action wakes once instead of re-scanning its dependency
 	// list on every predecessor broadcast.
 	remaining []int32
@@ -162,8 +162,12 @@ type replayState struct {
 	// status tracks each action's lifecycle explicitly (actIssued,
 	// actDone bits). issueAt/doneAt alone cannot distinguish "not yet
 	// issued" from "legitimately issued at virtual time 0".
-	status   []uint8
-	conds    []*sim.Cond
+	status []uint8
+	// waiting[i] is action i's replay thread while it is parked on the
+	// dependency counter, nil otherwise. Registering the thread directly
+	// and using the kernel's pooled park/unpark path replaces a lazily
+	// allocated sim.Cond per blocked action.
+	waiting  []*sim.Thread
 	fdMap    map[core.ResourceID]int64
 	aioMap   map[core.ResourceID]int64
 	predelay []time.Duration
@@ -270,7 +274,7 @@ func start(sys *stack.System, b *Benchmark, opts Options) (*replayState, error) 
 		issueAt:   make([]time.Duration, n),
 		doneAt:    make([]time.Duration, n),
 		status:    make([]uint8, n),
-		conds:     make([]*sim.Cond, n),
+		waiting:   make([]*sim.Thread, n),
 		fdMap:     make(map[core.ResourceID]int64),
 		aioMap:    make(map[core.ResourceID]int64),
 		predelay:  computePredelay(b.Trace),
@@ -387,13 +391,6 @@ func computePredelay(tr *trace.Trace) []time.Duration {
 	return out
 }
 
-func (rs *replayState) condOf(i int) *sim.Cond {
-	if rs.conds[i] == nil {
-		rs.conds[i] = sim.NewCond(rs.sys.K)
-	}
-	return rs.conds[i]
-}
-
 // depSatisfied records that edge ei (one of To's dependency edges) is
 // satisfied; the decrement that empties the counter wakes To's replay
 // thread, if it is already parked on the action. A counter driven
@@ -410,8 +407,8 @@ func (rs *replayState) depSatisfied(ei int) {
 			rs.releasedEdge[to] = int32(ei)
 			rs.releasedAt[to] = rs.sys.K.Now() - rs.start
 		}
-		if rs.conds[to] != nil {
-			rs.conds[to].Signal()
+		if w := rs.waiting[to]; w != nil {
+			rs.sys.K.Unpark(w)
 		}
 	case rs.remaining[to] < 0:
 		panic(fmt.Sprintf(
@@ -450,10 +447,11 @@ func (rs *replayState) playAction(t *sim.Thread, idx int) {
 		waitStart = rs.sys.K.Now() - rs.start
 	}
 	if rs.remaining[idx] > 0 {
-		c := rs.condOf(idx)
+		rs.waiting[idx] = t
 		for rs.remaining[idx] > 0 {
-			c.WaitFn(t, func() string { return rs.waitReason(idx) })
+			t.ParkFn(func() string { return rs.waitReason(idx) })
 		}
+		rs.waiting[idx] = nil
 	}
 	var slept time.Duration
 	switch rs.opts.Speed {

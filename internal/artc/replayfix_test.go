@@ -126,7 +126,7 @@ func TestDepSatisfiedUnderflowPanics(t *testing.T) {
 	rs := &replayState{
 		g:         g,
 		remaining: []int32{0, 0}, // built from the corrupt Indegree
-		conds:     make([]*sim.Cond, 2),
+		waiting:   make([]*sim.Thread, 2),
 	}
 	defer func() {
 		r := recover()

@@ -134,10 +134,10 @@ type CFQ struct {
 	order       []int // round-robin order of owners with ever-seen traffic
 	active      int   // owner of the active queue; -1 if none
 	sliceEnd    time.Duration
-	idleGen     int  // invalidates stale idle timers
-	idling      bool // device held idle for the active owner
-	outstanding int  // submitted to scheduler, not yet completed
-	inDevice    int  // dispatched to device, not yet completed
+	idleTimer   *sim.Timer // reused across every anticipation window
+	idling      bool       // device held idle for the active owner
+	outstanding int        // submitted to scheduler, not yet completed
+	inDevice    int        // dispatched to device, not yet completed
 }
 
 // NewCFQ returns a CFQ scheduler for dev bound to kernel k.
@@ -151,7 +151,9 @@ func NewCFQ(k *sim.Kernel, dev storage.Device, p CFQParams) *CFQ {
 	if p.SeekyThreshold <= 0 {
 		p.SeekyThreshold = DefaultCFQ().SeekyThreshold
 	}
-	return &CFQ{k: k, dev: dev, p: p, queues: make(map[int]*cfqQueue), active: -1}
+	s := &CFQ{k: k, dev: dev, p: p, queues: make(map[int]*cfqQueue), active: -1}
+	s.idleTimer = k.NewTimer(s.idleExpired)
+	return s
 }
 
 // Name implements Scheduler.
@@ -178,7 +180,7 @@ func (s *CFQ) Submit(r *storage.Request, done func()) {
 	} else if s.idling && s.active == r.Owner {
 		// The anticipated request arrived: stop idling and serve it.
 		s.idling = false
-		s.idleGen++
+		s.idleTimer.Stop()
 	}
 	s.dispatch()
 }
@@ -188,7 +190,7 @@ func (s *CFQ) activate(owner int) {
 	s.active = owner
 	s.sliceEnd = s.k.Now() + s.p.SliceSync
 	s.idling = false
-	s.idleGen++
+	s.idleTimer.Stop()
 }
 
 // nextOwner returns the next owner after the active one (round-robin)
@@ -300,24 +302,30 @@ func (s *CFQ) startIdle() {
 		return
 	}
 	s.idling = true
-	s.idleGen++
-	gen := s.idleGen
 	deadline := s.p.IdleWindow
 	if remaining := s.sliceEnd - s.k.Now(); remaining < deadline {
 		deadline = remaining
 	}
-	s.k.After(deadline, func() {
-		if gen != s.idleGen || !s.idling {
-			return
-		}
-		s.idling = false
-		if o := s.nextOwner(); o != -1 {
-			s.activate(o)
-			s.dispatch()
-		} else {
-			s.active = -1
-		}
-	})
+	// Reset reuses the scheduler's single timer (and, through the kernel
+	// pool, its event) instead of allocating a fresh closure per window;
+	// Stop/Reset invalidate any still-queued expiry from an earlier
+	// window, replacing the idleGen counter.
+	s.idleTimer.Reset(deadline)
+}
+
+// idleExpired fires when the anticipation window lapses without the
+// active owner submitting: give the device to the next waiting queue.
+func (s *CFQ) idleExpired() {
+	if !s.idling {
+		return
+	}
+	s.idling = false
+	if o := s.nextOwner(); o != -1 {
+		s.activate(o)
+		s.dispatch()
+	} else {
+		s.active = -1
+	}
 }
 
 // startOne pops the head of q and hands it to the device.

@@ -1,0 +1,15 @@
+package sim_test
+
+import (
+	"testing"
+
+	"rootreplay/internal/sim/simbench"
+)
+
+// The benchmark bodies live in simbench so cmd/perfstat can run the
+// same code and report the numbers in BENCH JSON.
+
+func BenchmarkKernelTimerChurn(b *testing.B)      { simbench.TimerChurn(b) }
+func BenchmarkKernelSleepChurn(b *testing.B)      { simbench.SleepChurn(b) }
+func BenchmarkKernelPingPong(b *testing.B)        { simbench.PingPong(b) }
+func BenchmarkKernelCompletionStorm(b *testing.B) { simbench.CompletionStorm(b) }

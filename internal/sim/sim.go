@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -52,33 +51,54 @@ func (s ThreadState) String() string {
 	}
 }
 
-// event is a timed callback in the kernel's event queue.
-type event struct {
-	at  time.Duration
-	seq uint64 // FIFO tie-break for events at the same instant
-	fn  func()
+// Completer receives pooled I/O-completion events. Devices implement it
+// so a completion can be scheduled as a tagged event (opcode + operand
+// words) instead of a captured closure; the tag routes the completion
+// inside the device (a queue slot, or a sentinel like the HDD's
+// elevator kick).
+type Completer interface {
+	Complete(tag uint64)
 }
 
-type eventHeap []*event
+// Timer is a reusable timed callback. Unlike At/After, whose one-shot
+// callbacks cannot be revoked, a Timer is allocated once and re-armed
+// with Reset; Stop revokes the pending expiry. Cancellation is lazy:
+// the underlying pooled event stays queued and is skipped when it
+// fires, so — exactly like the generation-counter idiom it replaces —
+// a stopped timer still holds the simulation alive until its original
+// expiry instant.
+type Timer struct {
+	k  *Kernel
+	fn func()
+	ev *event // pending event; nil when stopped or fired
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// NewTimer returns a stopped timer that runs fn in kernel context each
+// time it expires.
+func (k *Kernel) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer with nil callback")
 	}
-	return h[i].seq < h[j].seq
+	return &Timer{k: k, fn: fn}
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// Reset arms the timer to fire d from now, revoking any pending expiry
+// first. Non-positive d fires at the current instant.
+func (tm *Timer) Reset(d time.Duration) {
+	tm.ev = nil // orphan any pending event; it fires as a no-op
+	e := tm.k.newEvent(tm.k.now + d)
+	e.op = opTimer
+	e.tm = tm
+	tm.ev = e
+	tm.k.enqueue(e)
 }
+
+// Stop revokes the pending expiry, if any. The callback will not run
+// until the next Reset.
+func (tm *Timer) Stop() { tm.ev = nil }
+
+// Pending reports whether the timer is armed.
+func (tm *Timer) Pending() bool { return tm.ev != nil }
 
 // Thread is a simulated thread of execution. A Thread's body runs as a
 // coroutine: it executes only between the kernel resuming it and the
@@ -124,13 +144,25 @@ func (t *Thread) Kernel() *Kernel { return t.k }
 type Kernel struct {
 	now     time.Duration
 	eseq    uint64
-	events  eventHeap
+	wheel   wheel
 	runq    []*Thread
 	current *Thread
 	yielded chan struct{}
 	live    int // spawned threads whose bodies have not returned
 	nextID  int
 	threads []*Thread // all spawned threads, for deadlock reporting
+
+	// batch holds the not-yet-dispatched remainder of the instant batch
+	// most recently expired from the wheel: every pending event at the
+	// earliest instant, in seq order. Events scheduled for the current
+	// instant while the batch is live are appended directly (seq is
+	// monotonic, so append preserves order), skipping the wheel.
+	batch   []*event
+	batchAt time.Duration
+
+	// pool is the event free list. Dispatched events are cleared and
+	// recycled here, so steady-state scheduling allocates nothing.
+	pool []*event
 
 	// schedHooks run at every scheduling point in Run (before a thread is
 	// resumed or a timed event dispatched). Observability probes hang off
@@ -177,19 +209,73 @@ func (k *Kernel) Now() time.Duration { return k.now }
 // Live returns the number of spawned threads that have not finished.
 func (k *Kernel) Live() int { return k.live }
 
-// At schedules fn to run in kernel context at absolute virtual time at.
-// Scheduling in the past (at < Now) runs the event at the current time.
-func (k *Kernel) At(at time.Duration, fn func()) {
+// newEvent takes an event from the pool (or allocates one) and stamps
+// it with the clamped time and the next FIFO sequence number.
+func (k *Kernel) newEvent(at time.Duration) *event {
 	if at < k.now {
 		at = k.now
 	}
+	var e *event
+	if n := len(k.pool); n > 0 {
+		e = k.pool[n-1]
+		k.pool[n-1] = nil
+		k.pool = k.pool[:n-1]
+	} else {
+		e = &event{}
+	}
 	k.eseq++
-	heap.Push(&k.events, &event{at: at, seq: k.eseq, fn: fn})
+	e.at = at
+	e.seq = k.eseq
+	return e
+}
+
+// release clears an event's operands and returns it to the pool.
+func (k *Kernel) release(e *event) {
+	e.th = nil
+	e.fn = nil
+	e.c = nil
+	e.tm = nil
+	e.tag = 0
+	k.pool = append(k.pool, e)
+}
+
+// enqueue files a stamped event: onto the live instant batch when it is
+// due at the instant currently being dispatched (append keeps seq
+// order), otherwise into the wheel.
+func (k *Kernel) enqueue(e *event) {
+	if len(k.batch) > 0 && e.at == k.batchAt {
+		k.batch = append(k.batch, e)
+		return
+	}
+	k.wheel.insert(e)
+}
+
+// pending reports the number of undispatched timed events.
+func (k *Kernel) pending() int { return k.wheel.n + len(k.batch) }
+
+// At schedules fn to run in kernel context at absolute virtual time at.
+// Scheduling in the past (at < Now) runs the event at the current time.
+func (k *Kernel) At(at time.Duration, fn func()) {
+	e := k.newEvent(at)
+	e.op = opFunc
+	e.fn = fn
+	k.enqueue(e)
 }
 
 // After schedules fn to run in kernel context d from now.
 func (k *Kernel) After(d time.Duration, fn func()) {
 	k.At(k.now+d, fn)
+}
+
+// AfterComplete schedules c.Complete(tag) to run in kernel context d
+// from now. It is the allocation-free completion path: the event is
+// pooled and carries only the opcode and operand words, no closure.
+func (k *Kernel) AfterComplete(d time.Duration, c Completer, tag uint64) {
+	e := k.newEvent(k.now + d)
+	e.op = opComplete
+	e.c = c
+	e.tag = tag
+	k.enqueue(e)
 }
 
 // Spawn creates a new simulated thread running fn and places it at the
@@ -211,7 +297,7 @@ func (k *Kernel) Spawn(name string, fn func(t *Thread)) *Thread {
 		fn(t)
 		t.state = StateDone
 		k.live--
-		k.yielded <- struct{}{}
+		k.switchFrom()
 	}()
 	k.runq = append(k.runq, t)
 	return t
@@ -238,6 +324,14 @@ func (e *DeadlockError) Error() string {
 // Run executes the simulation until all threads have finished and the
 // event queue is empty, or until deadlock. It returns a *DeadlockError if
 // live threads remain blocked with no pending events, and nil otherwise.
+//
+// Scheduling points: with sched hooks installed, every thread switch
+// routes through this loop and the hooks run before each resume or
+// event dispatch, exactly as before the direct-handoff fast path
+// existed. With no hooks, threads hand off to each other directly (see
+// switchFrom) and the loop only regains control when the run queue
+// drains, so the disabled-hook cost at each switch is a single length
+// check in switchFrom.
 func (k *Kernel) Run() error {
 	for !k.stopped {
 		if len(k.schedHooks) > 0 {
@@ -252,14 +346,23 @@ func (k *Kernel) Run() error {
 			k.current = t
 			t.state = StateRunning
 			t.resume <- struct{}{}
+			// Control returns here only after the resumed thread — or a
+			// chain of direct handoffs it started — reverts to the
+			// kernel (run queue empty, hooks installed, or Stop).
 			<-k.yielded
-			k.current = nil
 			continue
 		}
-		if len(k.events) > 0 {
-			e := heap.Pop(&k.events).(*event)
+		if len(k.batch) > 0 || k.wheel.n > 0 {
+			if len(k.batch) == 0 {
+				k.wheel.expire(&k.batch)
+				k.batchAt = k.batch[0].at
+			}
+			e := k.batch[0]
+			copy(k.batch, k.batch[1:])
+			k.batch[len(k.batch)-1] = nil
+			k.batch = k.batch[:len(k.batch)-1]
 			k.now = e.at
-			e.fn()
+			k.dispatch(e)
 			continue
 		}
 		if k.live > 0 {
@@ -277,6 +380,57 @@ func (k *Kernel) Run() error {
 	return nil
 }
 
+// dispatch runs one expired event by opcode and recycles it. Operands
+// are copied out before release so a callback can immediately reuse the
+// pooled struct.
+func (k *Kernel) dispatch(e *event) {
+	switch e.op {
+	case opWake:
+		t := e.th
+		k.release(e)
+		k.unpark(t)
+	case opFunc:
+		fn := e.fn
+		k.release(e)
+		fn()
+	case opComplete:
+		c, tag := e.c, e.tag
+		k.release(e)
+		c.Complete(tag)
+	case opTimer:
+		tm := e.tm
+		if tm.ev != e {
+			// Stopped or re-armed since this expiry was scheduled.
+			k.release(e)
+			return
+		}
+		tm.ev = nil
+		k.release(e)
+		tm.fn()
+	default:
+		panic(fmt.Sprintf("sim: unknown event opcode %d", e.op))
+	}
+}
+
+// switchFrom hands the CPU off on behalf of the goroutine of the thread
+// that is giving it up (block, yield, or exit). Fast path: with no
+// sched hooks and no Stop pending, the next runnable thread is resumed
+// directly, thread to thread, halving the goroutine switches per
+// context switch. Slow path: control reverts to the kernel's Run loop.
+func (k *Kernel) switchFrom() {
+	if len(k.schedHooks) == 0 && !k.stopped && len(k.runq) > 0 {
+		next := k.runq[0]
+		copy(k.runq, k.runq[1:])
+		k.runq = k.runq[:len(k.runq)-1]
+		k.current = next
+		next.state = StateRunning
+		next.resume <- struct{}{}
+		return
+	}
+	k.current = nil
+	k.yielded <- struct{}{}
+}
+
 // block parks the calling thread with a reason and hands control to the
 // kernel; it returns when the thread is next resumed.
 func (t *Thread) block(reason string) {
@@ -285,7 +439,7 @@ func (t *Thread) block(reason string) {
 	}
 	t.state = StateBlocked
 	t.blockReason = reason
-	t.k.yielded <- struct{}{}
+	t.k.switchFrom()
 	<-t.resume
 	t.blockReason = ""
 }
@@ -298,7 +452,7 @@ func (t *Thread) blockf(reasonf func() string) {
 	}
 	t.state = StateBlocked
 	t.blockReasonf = reasonf
-	t.k.yielded <- struct{}{}
+	t.k.switchFrom()
 	<-t.resume
 	t.blockReasonf = nil
 }
@@ -316,9 +470,16 @@ func (k *Kernel) unpark(t *Thread) {
 // Yield moves the calling thread to the back of the run queue, letting
 // other runnable threads (but not the clock) make progress first.
 func (t *Thread) Yield() {
+	k := t.k
+	if len(k.schedHooks) == 0 && !k.stopped && len(k.runq) == 0 {
+		// Sole runnable thread: requeueing and switching would resume
+		// it immediately, so just keep running. Indistinguishable from
+		// the slow path except that no (empty) hook set runs.
+		return
+	}
 	t.state = StateRunnable
-	t.k.runq = append(t.k.runq, t)
-	t.k.yielded <- struct{}{}
+	k.runq = append(k.runq, t)
+	k.switchFrom()
 	<-t.resume
 }
 
@@ -329,7 +490,13 @@ func (t *Thread) Sleep(d time.Duration) {
 		t.Yield()
 		return
 	}
-	t.k.After(d, func() { t.k.unpark(t) })
+	// The wake is a tagged pooled event (opWake), not a closure: the
+	// hottest event in the simulator allocates nothing.
+	k := t.k
+	e := k.newEvent(k.now + d)
+	e.op = opWake
+	e.th = t
+	k.enqueue(e)
 	// A sleeping thread always has a pending wake event, so its reason
 	// can never appear in a deadlock report; a constant avoids a
 	// fmt.Sprintf on every simulated sleep.
@@ -340,6 +507,13 @@ func (t *Thread) Sleep(d time.Duration) {
 // Unpark on it. The reason string appears in deadlock reports.
 func (t *Thread) Park(reason string) {
 	t.block(reason)
+}
+
+// ParkFn is Park with a lazily-rendered reason: reasonf runs only if a
+// deadlock report (or BlockReason) actually needs the description, so
+// hot paths can park without formatting a string.
+func (t *Thread) ParkFn(reasonf func() string) {
+	t.blockf(reasonf)
 }
 
 // Unpark makes a parked thread runnable. Calling it on a thread that is

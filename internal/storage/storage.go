@@ -158,7 +158,20 @@ type HDD struct {
 	queue  []pending
 	nQueue int
 	stats  Stats
+
+	// inflight is the request being serviced; its completion arrives as
+	// a pooled sim event (Complete) rather than a captured closure.
+	inflight pending
+	// kickPending is set while a same-instant elevator kick event is
+	// queued, so a burst of submissions arriving at one instant is
+	// re-evaluated by the elevator once, with the full candidate set,
+	// instead of once per request.
+	kickPending bool
 }
+
+// hddKickTag is the Complete tag for the deferred elevator evaluation;
+// any other tag is a request completion.
+const hddKickTag = ^uint64(0)
 
 type pending struct {
 	r    *Request
@@ -206,11 +219,46 @@ func (d *HDD) Submit(r *Request, done func()) {
 	}
 }
 
+// kick schedules one elevator evaluation at the current instant,
+// batching re-evaluation per instant instead of per request: every
+// submission triggered by a completion — the callback's own synchronous
+// resubmits and the submissions of any thread the completion wakes at
+// the same instant — lands in the queue before the kick event fires, so
+// the drive picks its next request from the full candidate set instead
+// of greedily starting on the first arrival. Virtual timing is
+// unchanged: the kick fires at the instant the completion occurred.
+func (d *HDD) kick() {
+	if d.kickPending || d.busy {
+		return
+	}
+	d.kickPending = true
+	d.k.AfterComplete(0, d, hddKickTag)
+}
+
+// Complete implements sim.Completer: either the deferred elevator kick
+// or the in-flight request's completion. busy stays held across done()
+// so the callback's synchronous submissions queue for the batched kick
+// rather than starting the drive one by one.
+func (d *HDD) Complete(tag uint64) {
+	if tag == hddKickTag {
+		d.kickPending = false
+		d.startNext()
+		return
+	}
+	p := d.inflight
+	d.inflight = pending{}
+	d.head = p.r.End()
+	d.nQueue--
+	p.done()
+	d.busy = false
+	d.kick()
+}
+
 // startNext picks the queued request with the nearest starting LBA to the
 // current head position (elevator/NCQ behaviour) and begins servicing it.
 // The busy guard matters: a completion callback invokes the requester's
-// done function, which may synchronously submit (and start) the next
-// request before the callback's own startNext runs; without the guard a
+// done function, which may synchronously submit (and kick) the next
+// request before the completion's own kick runs; without the guard a
 // single-actuator disk would service two requests concurrently.
 func (d *HDD) startNext() {
 	if d.busy || len(d.queue) == 0 {
@@ -243,13 +291,8 @@ func (d *HDD) startNext() {
 		d.stats.Writes++
 		d.stats.BlocksWrite += int64(p.r.Blocks)
 	}
-	d.k.After(svc, func() {
-		d.head = p.r.End()
-		d.busy = false
-		d.nQueue--
-		p.done()
-		d.startNext()
-	})
+	d.inflight = p
+	d.k.AfterComplete(svc, d, 0)
 }
 
 // serviceTime returns (positioning, transfer) time for servicing r given
@@ -309,6 +352,11 @@ type SSD struct {
 	queue  []pending
 	nQueue int
 	stats  Stats
+
+	// slots hold in-flight requests; the slot index is the Complete tag,
+	// so completions are pooled tagged events instead of closures.
+	slots []pending
+	free  []uint64 // recycled slot indices
 }
 
 // NewSSD constructs an SSD bound to kernel k.
@@ -369,16 +417,31 @@ func (d *SSD) start(p pending) {
 	svc := lat + xfer
 	d.stats.BusyTime += svc
 	d.stats.TransferTime += xfer
-	d.k.After(svc, func() {
-		d.active--
-		d.nQueue--
-		p.done()
-		if len(d.queue) > 0 && d.active < d.p.Channels {
-			next := d.queue[0]
-			d.queue = append(d.queue[:0], d.queue[1:]...)
-			d.start(next)
-		}
-	})
+	var slot uint64
+	if n := len(d.free); n > 0 {
+		slot = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		d.slots = append(d.slots, pending{})
+		slot = uint64(len(d.slots) - 1)
+	}
+	d.slots[slot] = p
+	d.k.AfterComplete(svc, d, slot)
+}
+
+// Complete implements sim.Completer: the tagged slot's request is done.
+func (d *SSD) Complete(slot uint64) {
+	p := d.slots[slot]
+	d.slots[slot] = pending{}
+	d.free = append(d.free, slot)
+	d.active--
+	d.nQueue--
+	p.done()
+	if len(d.queue) > 0 && d.active < d.p.Channels {
+		next := d.queue[0]
+		d.queue = append(d.queue[:0], d.queue[1:]...)
+		d.start(next)
+	}
 }
 
 // RAID0 stripes blocks across member devices in fixed-size chunks. A

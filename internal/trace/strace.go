@@ -2,12 +2,20 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 	"time"
 )
+
+// straceMaxLine caps a single strace line. A large `write` payload
+// rendered with a generous strace -s easily exceeds bufio.Scanner's
+// 64 KiB default — and the 1 MiB cap this parser used to set — so the
+// limit is generous; a var rather than a const so the overflow error
+// path stays testable without a 16 MiB fixture.
+var straceMaxLine = 16 << 20
 
 // ParseStrace parses the output of `strace -f -ttt -T`, the standard
 // UNIX tracing tool ARTC supports for ease of benchmark creation (§4.1).
@@ -23,7 +31,13 @@ import (
 // Timestamps are rebased so the earliest call starts at zero.
 func ParseStrace(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// Scanner treats max(cap(buf), limit) as the cap, so the initial
+	// buffer must not exceed straceMaxLine for the limit to bind.
+	initial := 64 << 10
+	if straceMaxLine < initial {
+		initial = straceMaxLine
+	}
+	sc.Buffer(make([]byte, initial), straceMaxLine)
 	tr := &Trace{Platform: "linux"}
 	// Pending unfinished call per TID.
 	pending := make(map[int]*straceCall)
@@ -81,6 +95,13 @@ func ParseStrace(r io.Reader) (*Trace, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, &ParseError{
+				Line: lineNo + 1,
+				Msg: fmt.Sprintf("line exceeds the %d-byte limit; re-record with a smaller strace -s, or raise the cap",
+					straceMaxLine),
+			}
+		}
 		return nil, err
 	}
 	tr.Renumber()

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -192,6 +193,44 @@ func TestParseStraceNoPIDs(t *testing.T) {
 	}
 	if len(tr.Records) != 2 || tr.Records[0].TID != 1 {
 		t.Fatalf("records = %+v", tr.Records)
+	}
+}
+
+func TestParseStraceLongLine(t *testing.T) {
+	// A write payload rendered with a generous strace -s produces lines
+	// far past bufio.Scanner's 64 KiB default; a ~2 MiB line also broke
+	// the old 1 MiB cap. It must parse.
+	payload := strings.Repeat("x", 2<<20)
+	in := `1001 1679588291.000100 write(3, "` + payload + `", ` +
+		"2097152) = 2097152 <0.000500>\n" +
+		"1001 1679588291.000700 close(3) = 0 <0.000001>\n"
+	tr, err := ParseStrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 2 || tr.Records[0].Call != "write" {
+		t.Fatalf("records = %+v", tr.Records)
+	}
+}
+
+func TestParseStraceLineOverLimit(t *testing.T) {
+	// Beyond the cap the parser must fail with a ParseError naming the
+	// offending line, not bufio's bare "token too long".
+	defer func(old int) { straceMaxLine = old }(straceMaxLine)
+	straceMaxLine = 4096
+	in := `1001 1679588291.000100 open("/f", O_RDONLY) = 3 <0.000020>
+1001 1679588291.000200 write(3, "` + strings.Repeat("y", 8192) + `", 8192) = 8192 <0.000100>
+`
+	_, err := ParseStrace(strings.NewReader(in))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("ParseError.Line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Msg, "4096") {
+		t.Errorf("ParseError.Msg = %q, want the byte limit named", pe.Msg)
 	}
 }
 

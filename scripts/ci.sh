@@ -7,13 +7,13 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-tag="${1:-pr2}"
+tag="${1:-pr3}"
 
 echo "== go vet"
 go vet ./...
 
-echo "== go test -race"
-go test -race ./...
+echo "== go test -race (GOMAXPROCS=8 stresses the kernel handoff paths)"
+GOMAXPROCS=8 go test -race ./...
 
 echo "== go test -bench=Compile -benchtime=1x"
 go test -run '^$' -bench 'Compile' -benchtime 1x -benchmem .
@@ -28,3 +28,9 @@ rm -f /tmp/artc-ci /tmp/ci-trace-1.json /tmp/ci-trace-2.json
 
 echo "== perfstat -> BENCH_${tag}.json"
 go run ./cmd/perfstat -o "BENCH_${tag}.json"
+
+prev="BENCH_pr2.json"
+if [ -f "$prev" ] && [ "$prev" != "BENCH_${tag}.json" ]; then
+  echo "== benchcmp $prev vs BENCH_${tag}.json"
+  go run ./cmd/benchcmp "$prev" "BENCH_${tag}.json"
+fi
