@@ -17,11 +17,12 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench 'Compile' -benchtime 1x -benchmem .
 	$(GO) test -run '^$$' -bench 'Kernel|OracleHeap' -benchmem ./internal/sim/
-	$(GO) run ./cmd/perfstat -o BENCH_pr3.json
-	@if [ -f BENCH_pr2.json ]; then $(GO) run ./cmd/benchcmp BENCH_pr2.json BENCH_pr3.json; fi
+	$(GO) test -run '^$$' -bench 'ParseStrace|ParseSharded' -benchmem ./internal/trace/
+	$(GO) run ./cmd/perfstat -o BENCH_pr4.json
+	@if [ -f BENCH_pr3.json ]; then $(GO) run ./cmd/benchcmp BENCH_pr3.json BENCH_pr4.json; fi
 
 perfstat:
-	$(GO) run ./cmd/perfstat -o BENCH_pr3.json
+	$(GO) run ./cmd/perfstat -o BENCH_pr4.json
 
 # CPU and heap profiles of the perfstat workload (compile + replay +
 # kernel microbenchmarks); inspect with `go tool pprof cpu.out`.

@@ -1,12 +1,15 @@
 // Command artc compiles and replays system-call traces.
 //
 //	artc compile -trace app.strace -format strace -snapshot init.snap -o app.bench
+//	artc convert -trace app.strace -format strace -shards -1 -to native -o app.trace
 //	artc replay  -bench app.bench -target linux-ext4-hdd -method artc -speed afap
 //	artc inspect -bench app.bench
 //	artc trace   -magritte pages_docphoto15 -o replay.trace.json
 //
 // compile turns a trace (native or strace format) plus an optional
-// initial-state snapshot into a self-contained benchmark file. replay
+// initial-state snapshot into a self-contained benchmark file; -shards
+// lexes strace input in parallel, -stream overlaps strace lexing with
+// compilation. convert re-encodes a trace between formats. replay
 // executes a benchmark on a simulated target machine and reports timing
 // and semantic accuracy. inspect prints a benchmark's dependency-graph
 // statistics. trace replays with the observability recorder enabled and
@@ -40,6 +43,8 @@ func main() {
 	switch os.Args[1] {
 	case "compile":
 		err = compileCmd(os.Args[2:])
+	case "convert":
+		err = convertCmd(os.Args[2:])
 	case "replay":
 		err = replayCmd(os.Args[2:])
 	case "inspect":
@@ -56,8 +61,47 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: artc <compile|replay|inspect|trace> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: artc <compile|convert|replay|inspect|trace> [flags]")
 	os.Exit(2)
+}
+
+// readTrace parses a trace file in the named format. For strace input,
+// shards selects the lexer: 0 sequential, N > 0 that many parallel
+// shards, negative one shard per CPU.
+func readTrace(path, format string, shards int) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch format {
+	case "strace":
+		if shards != 0 {
+			if shards < 0 {
+				shards = 0 // ParseStraceSharded reads <= 0 as GOMAXPROCS
+			}
+			return trace.ParseStraceSharded(f, shards)
+		}
+		return trace.ParseStrace(f)
+	case "ibench":
+		return trace.ParseIBench(f)
+	case "native":
+		return trace.Decode(f)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func readSnapshot(path string) (*snapshot.Snapshot, error) {
+	if path == "" {
+		return nil, nil
+	}
+	sf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	return snapshot.Decode(sf)
 }
 
 func compileCmd(args []string) error {
@@ -67,49 +111,42 @@ func compileCmd(args []string) error {
 	snapPath := fs.String("snapshot", "", "initial snapshot file (optional; inferred if absent)")
 	out := fs.String("o", "out.bench", "output benchmark file")
 	modesFlag := fs.String("modes", artc.ModesString(core.DefaultModes()), "ordering modes")
+	shards := fs.Int("shards", 0, "parse strace input in N parallel shards (0 = sequential, -1 = one per CPU)")
+	stream := fs.Bool("stream", false, "stream strace parsing into the compiler (requires -format strace; overlap needs -snapshot)")
 	fs.Parse(args)
 	if *tracePath == "" {
 		return fmt.Errorf("-trace is required")
 	}
-
-	f, err := os.Open(*tracePath)
+	snap, err := readSnapshot(*snapPath)
 	if err != nil {
 		return err
-	}
-	defer f.Close()
-	var tr *trace.Trace
-	switch *format {
-	case "strace":
-		tr, err = trace.ParseStrace(f)
-	case "ibench":
-		tr, err = trace.ParseIBench(f)
-	case "native":
-		tr, err = trace.Decode(f)
-	default:
-		return fmt.Errorf("unknown format %q", *format)
-	}
-	if err != nil {
-		return err
-	}
-
-	var snap *snapshot.Snapshot
-	if *snapPath != "" {
-		sf, err := os.Open(*snapPath)
-		if err != nil {
-			return err
-		}
-		defer sf.Close()
-		if snap, err = snapshot.Decode(sf); err != nil {
-			return err
-		}
 	}
 	modes, err := artc.ParseModes(*modesFlag)
 	if err != nil {
 		return err
 	}
-	b, err := artc.Compile(tr, snap, modes)
-	if err != nil {
-		return err
+
+	var b *artc.Benchmark
+	if *stream {
+		if *format != "strace" {
+			return fmt.Errorf("-stream requires -format strace")
+		}
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if b, err = artc.CompileStraceStream(f, snap, modes); err != nil {
+			return err
+		}
+	} else {
+		tr, err := readTrace(*tracePath, *format, *shards)
+		if err != nil {
+			return err
+		}
+		if b, err = artc.Compile(tr, snap, modes); err != nil {
+			return err
+		}
 	}
 	of, err := os.Create(*out)
 	if err != nil {
@@ -125,6 +162,43 @@ func compileCmd(args []string) error {
 		fmt.Printf("%d model warnings (first: %s)\n", len(b.Analysis.Warnings), b.Analysis.Warnings[0])
 	}
 	return nil
+}
+
+// convertCmd re-encodes a trace between formats. Its main job is the
+// ingest CI lane: parse the same strace text sequentially and sharded
+// and compare the native encodings byte for byte.
+func convertCmd(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace file (required)")
+	format := fs.String("format", "strace", "input format: native | strace | ibench")
+	outFormat := fs.String("to", "native", "output format: native | strace")
+	shards := fs.Int("shards", 0, "parse strace input in N parallel shards (0 = sequential, -1 = one per CPU)")
+	out := fs.String("o", "-", "output file (- = stdout)")
+	fs.Parse(args)
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	tr, err := readTrace(*tracePath, *format, *shards)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *outFormat {
+	case "native":
+		return tr.Encode(w)
+	case "strace":
+		return trace.EncodeStrace(w, tr)
+	default:
+		return fmt.Errorf("unknown output format %q", *outFormat)
+	}
 }
 
 // targetConfig parses "platform-fsprofile-device[-sched]" names like

@@ -36,15 +36,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	out := flag.String("o", "out.trace", "output trace file")
 	snapOut := flag.String("snapshot", "out.snap", "output snapshot file")
+	format := flag.String("format", "native", "trace output format: native or strace")
 	flag.Parse()
 
-	if err := run(*wl, *source, *threads, *ops, *fileMB, *records, *scale, *seed, *out, *snapOut); err != nil {
+	if err := run(*wl, *source, *threads, *ops, *fileMB, *records, *scale, *seed, *out, *snapOut, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, source string, threads, ops int, fileMB int64, records int, scale float64, seed int64, out, snapOut string) error {
+func run(wl, source string, threads, ops int, fileMB int64, records int, scale float64, seed int64, out, snapOut, format string) error {
 	var tr *trace.Trace
 	var snap *snapshot.Snapshot
 	var elapsed time.Duration
@@ -80,7 +81,17 @@ func run(wl, source string, threads, ops int, fileMB int64, records int, scale f
 		return err
 	}
 	defer tf.Close()
-	if err := tr.Encode(tf); err != nil {
+	switch format {
+	case "native":
+		err = tr.Encode(tf)
+	case "strace":
+		// Rendered as `strace -f -ttt -T` text, the ingest benchmarks'
+		// and CI lane's parser corpus.
+		err = trace.EncodeStrace(tf, tr)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
 		return err
 	}
 	sf, err := os.Create(snapOut)

@@ -38,6 +38,13 @@ type Analysis struct {
 	// Series maps each resource to the indices (= Seq values) of the
 	// actions touching it, in trace order.
 	Series map[ResourceID][]int
+	// Resources lists every resource in first-touch order, and
+	// SeriesList holds the matching action series (aliasing the Series
+	// values). Consumers that only need to enumerate resources iterate
+	// these dense slices instead of hashing into the map; both are
+	// populated by Finish and may be nil for hand-built analyses.
+	Resources  []ResourceID
+	SeriesList [][]int
 	// PathGens maps a path name to its successive generations in
 	// creation order, for the name-ordering rule.
 	PathGens map[string][]int
@@ -74,6 +81,23 @@ type analyzer struct {
 	scratch []Touch
 	slab    []Touch
 
+	// resIdx interns each ResourceID to a dense index into series, so
+	// the Feed hot loop hashes a resource key once on first sight and
+	// appends to a slice thereafter; Finish materializes the exported
+	// Series map from these in one pass (one map insert per resource
+	// instead of one per touch).
+	resIdx map[ResourceID]int32
+	resIDs []ResourceID
+	series [][]int
+	// inoName caches the decimal rendering of inode numbers so fileRes
+	// does not re-format (and re-allocate) the name on every touch.
+	inoName map[uint64]string
+	// intSlab carves the initial capacity-4 backing of each resource's
+	// series, so the common short series (most resources are touched a
+	// handful of times) never hits the allocator; longer series fall
+	// back to ordinary append growth.
+	intSlab []int
+
 	res *Analysis
 }
 
@@ -100,7 +124,26 @@ func (a *analyzer) sealTouches(ts []Touch) []Touch {
 // initial file-tree snapshot (see snapshot.RestoreTree); Analyze mutates
 // it while symbolically replaying the trace.
 func Analyze(tr *trace.Trace, fs *vfs.FS) (*Analysis, error) {
-	a := &analyzer{
+	z := NewAnalyzer(fs)
+	if err := z.Feed(tr.Records); err != nil {
+		return nil, err
+	}
+	return z.Finish(tr)
+}
+
+// Analyzer is the incremental form of Analyze: records are fed in
+// batches, in trace order, and the model state (vfs, descriptor table,
+// path generations) advances with each batch. This is what lets the
+// streaming compile path overlap trace lexing with model evaluation —
+// the analyzer never needs the whole trace at once.
+type Analyzer struct {
+	a *analyzer
+}
+
+// NewAnalyzer returns an analyzer over fs, which must hold the initial
+// file-tree snapshot. The analyzer mutates fs as records are fed.
+func NewAnalyzer(fs *vfs.FS) *Analyzer {
+	return &Analyzer{a: &analyzer{
 		fs:      fs,
 		cwd:     fs.Root(),
 		cwdPath: "/",
@@ -108,19 +151,37 @@ func Analyze(tr *trace.Trace, fs *vfs.FS) (*Analysis, error) {
 		fdGen:   make(map[int64]int),
 		fdFile:  make(map[int64]*vfs.Inode),
 		fdPath:  make(map[int64]string),
+		resIdx:  make(map[ResourceID]int32),
+		inoName: make(map[uint64]string),
 		res: &Analysis{
-			Trace:    tr,
 			Series:   make(map[ResourceID][]int),
 			PathGens: make(map[string][]int),
 		},
+	}}
+}
+
+// Feed advances the model over the next batch of records. Records must
+// arrive in trace order with dense Seq numbers continuing where the
+// previous batch stopped.
+func (z *Analyzer) Feed(recs []*trace.Record) error {
+	a := z.a
+	if need := len(a.res.Actions) + len(recs); cap(a.res.Actions) < need {
+		if grown := 2 * cap(a.res.Actions); grown > need {
+			need = grown
+		}
+		na := make([]Action, len(a.res.Actions), need)
+		copy(na, a.res.Actions)
+		a.res.Actions = na
 	}
-	for i, rec := range tr.Records {
+	for _, rec := range recs {
+		i := len(a.res.Actions)
 		if rec.Seq != int64(i) {
-			return nil, fmt.Errorf("core: record %d has Seq %d; call Trace.Renumber first", i, rec.Seq)
+			return fmt.Errorf("core: record %d has Seq %d; call Trace.Renumber first", i, rec.Seq)
 		}
 		act := Action{Rec: rec}
+		call := stack.Canonical(rec.Call)
 		if rec.Path != "" {
-			if stack.Canonical(rec.Call) == "symlink" {
+			if call == "symlink" {
 				act.CanonPath = rec.Path
 			} else {
 				act.CanonPath = a.canon(rec.Path)
@@ -129,7 +190,7 @@ func Analyze(tr *trace.Trace, fs *vfs.FS) (*Analysis, error) {
 		if rec.Path2 != "" {
 			act.CanonPath2 = a.canon(rec.Path2)
 		}
-		touches := a.analyzeRecord(rec)
+		touches := a.analyzeRecord(rec, call)
 		if touches != nil {
 			a.scratch = touches[:0] // keep any grown capacity for reuse
 			touches = a.sealTouches(touches)
@@ -143,14 +204,45 @@ func Analyze(tr *trace.Trace, fs *vfs.FS) (*Analysis, error) {
 		}
 		a.res.Actions = append(a.res.Actions, act)
 		for _, t := range touches {
-			key := t.Res
-			series := a.res.Series[key]
-			if len(series) == 0 || series[len(series)-1] != i {
-				a.res.Series[key] = append(series, i)
+			idx, ok := a.resIdx[t.Res]
+			if !ok {
+				idx = int32(len(a.series))
+				a.resIdx[t.Res] = idx
+				a.resIDs = append(a.resIDs, t.Res)
+				a.series = append(a.series, nil)
+			}
+			s := a.series[idx]
+			switch {
+			case s == nil:
+				if len(a.intSlab) < 4 {
+					a.intSlab = make([]int, 4096)
+				}
+				s = a.intSlab[0:1:4]
+				a.intSlab = a.intSlab[4:]
+				s[0] = i
+				a.series[idx] = s
+			case s[len(s)-1] != i:
+				a.series[idx] = append(s, i)
 			}
 		}
 	}
-	return a.res, nil
+	return nil
+}
+
+// Finish seals the analysis. tr must be the trace whose records were
+// fed (the analysis keeps a reference for downstream passes).
+func (z *Analyzer) Finish(tr *trace.Trace) (*Analysis, error) {
+	if len(z.a.res.Actions) != len(tr.Records) {
+		return nil, fmt.Errorf("core: analyzer saw %d records, trace has %d",
+			len(z.a.res.Actions), len(tr.Records))
+	}
+	for k, r := range z.a.resIDs {
+		z.a.res.Series[r] = z.a.series[k]
+	}
+	z.a.res.Resources = z.a.resIDs
+	z.a.res.SeriesList = z.a.series
+	z.a.res.Trace = tr
+	return z.a.res, nil
 }
 
 // canon returns the canonical absolute form of a traced path. Absolute
@@ -217,8 +309,14 @@ func (a *analyzer) bumpPath(name string) ResourceID {
 	return ResourceID{Kind: KPath, Name: name, Gen: gen}
 }
 
-func fileRes(ino *vfs.Inode) ResourceID {
-	return ResourceID{Kind: KFile, Name: strconv.FormatUint(uint64(ino.Ino), 10), Gen: 1}
+func (a *analyzer) fileRes(ino *vfs.Inode) ResourceID {
+	n := uint64(ino.Ino)
+	name, ok := a.inoName[n]
+	if !ok {
+		name = strconv.FormatUint(n, 10)
+		a.inoName[n] = name
+	}
+	return ResourceID{Kind: KFile, Name: name, Gen: 1}
 }
 
 func (a *analyzer) fdRes(n int64) ResourceID {
@@ -266,7 +364,7 @@ func (a *analyzer) parentOf(p string) *vfs.Inode {
 // analyzeRecord computes the record's touch set and symbolically applies
 // its effect to the file-system model. Thread resources are implicit
 // (thread_seq is enforced structurally), so they are not materialized.
-func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
+func (a *analyzer) analyzeRecord(rec *trace.Record, call string) []Touch {
 	// Failed calls carry no resource hints beyond their thread: replay
 	// may legally reorder them (a stat that failed during tracing might
 	// validly run earlier or later during replay; §4.2 "Paths").
@@ -279,7 +377,7 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 	del := func(r ResourceID) { ts = append(ts, Touch{r, RoleDelete}) }
 	useParent := func(p string) {
 		if dir := a.parentOf(p); dir != nil {
-			use(fileRes(dir))
+			use(a.fileRes(dir))
 		}
 	}
 	// resolveFile resolves a path to its file, warning on failure.
@@ -304,16 +402,16 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 		useParent(cp)
 		ino := resolveFile(p, follow)
 		if ino != nil {
-			use(fileRes(ino))
+			use(a.fileRes(ino))
 		}
 		return ino
 	}
 
-	switch stack.Canonical(rec.Call) {
+	switch call {
 	case "open", "creat":
 		cp := a.canon(rec.Path)
 		flags := rec.Flags
-		if stack.Canonical(rec.Call) == "creat" {
+		if call == "creat" {
 			flags = trace.OWronly | trace.OCreat | trace.OTrunc
 		}
 		existing, _ := a.fs.Resolve(nil, cp)
@@ -328,7 +426,7 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 				return ts
 			}
 			create(a.bumpPath(cp))
-			create(fileRes(ino))
+			create(a.fileRes(ino))
 		} else {
 			ino = existing
 			if ino == nil {
@@ -342,10 +440,10 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 					return ts
 				}
 				create(a.bumpPath(cp))
-				create(fileRes(ino))
+				create(a.fileRes(ino))
 			} else {
 				use(a.pathRes(cp))
-				use(fileRes(ino))
+				use(a.fileRes(ino))
 			}
 		}
 		if flags&trace.OTrunc != 0 && ino.Type == vfs.TypeRegular {
@@ -359,7 +457,7 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 		use2 := a.fdRes(rec.FD)
 		ts = append(ts, Touch{use2, RoleDelete})
 		if ino := a.fdFile[rec.FD]; ino != nil {
-			use(fileRes(ino))
+			use(a.fileRes(ino))
 		}
 		delete(a.fdFile, rec.FD)
 		delete(a.fdPath, rec.FD)
@@ -369,7 +467,7 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 		"fgetxattr", "fsetxattr", "flistxattr", "fremovexattr":
 		use(a.fdRes(rec.FD))
 		if ino := a.fdFile[rec.FD]; ino != nil {
-			use(fileRes(ino))
+			use(a.fileRes(ino))
 		} else {
 			a.warnf(rec, "fd %d not tracked", rec.FD)
 		}
@@ -381,7 +479,7 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 	case "fcntl":
 		use(a.fdRes(rec.FD))
 		if ino := a.fdFile[rec.FD]; ino != nil {
-			use(fileRes(ino))
+			use(a.fileRes(ino))
 		}
 		if rec.Name == "F_DUPFD" && rec.Ret >= 0 {
 			create(a.bumpFD(rec.Ret))
@@ -391,7 +489,7 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 	case "dup":
 		use(a.fdRes(rec.FD))
 		if ino := a.fdFile[rec.FD]; ino != nil {
-			use(fileRes(ino))
+			use(a.fileRes(ino))
 		}
 		create(a.bumpFD(rec.Ret))
 		a.fdFile[rec.Ret] = a.fdFile[rec.FD]
@@ -399,7 +497,7 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 	case "dup2":
 		use(a.fdRes(rec.FD))
 		if ino := a.fdFile[rec.FD]; ino != nil {
-			use(fileRes(ino))
+			use(a.fileRes(ino))
 		}
 		if rec.FD != rec.FD2 {
 			if _, open := a.fdFile[rec.FD2]; open {
@@ -427,13 +525,13 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 			return ts
 		}
 		create(a.bumpPath(cp))
-		create(fileRes(ino))
+		create(a.fileRes(ino))
 	case "rmdir":
 		cp := a.canon(rec.Path)
 		useParent(cp)
 		ino := resolveFile(rec.Path, false)
 		if ino != nil {
-			del(fileRes(ino))
+			del(a.fileRes(ino))
 		}
 		del(a.pathRes(cp))
 		if err := a.fs.Rmdir(nil, cp); err != vfs.OK {
@@ -446,9 +544,9 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 		del(a.pathRes(cp))
 		if ino != nil {
 			if ino.Nlink <= 1 {
-				del(fileRes(ino))
+				del(a.fileRes(ino))
 			} else {
-				use(fileRes(ino))
+				use(a.fileRes(ino))
 			}
 		}
 		if err := a.fs.Unlink(nil, cp); err != vfs.OK {
@@ -463,7 +561,7 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 		useParent(newP)
 		ino := resolveFile(rec.Path, false)
 		if ino != nil {
-			use(fileRes(ino))
+			use(a.fileRes(ino))
 		}
 		create(a.bumpPath(newP))
 		if err := a.fs.Link(nil, oldP, newP); err != vfs.OK {
@@ -478,7 +576,7 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 			return ts
 		}
 		create(a.bumpPath(linkP))
-		create(fileRes(ino))
+		create(a.fileRes(ino))
 	case "exchangedata":
 		pa, pb := a.canon(rec.Path), a.canon(rec.Path2)
 		useParent(pa)
@@ -486,10 +584,10 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 		inoA := resolveFile(rec.Path, true)
 		inoB := resolveFile(rec.Path2, true)
 		if inoA != nil {
-			use(fileRes(inoA))
+			use(a.fileRes(inoA))
 		}
 		if inoB != nil {
-			use(fileRes(inoB))
+			use(a.fileRes(inoB))
 		}
 		// Both names change binding: old generations die, new ones begin
 		// within the same action.
@@ -509,7 +607,7 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 	case "fchdir":
 		use(a.fdRes(rec.FD))
 		if ino := a.fdFile[rec.FD]; ino != nil && ino.IsDir() {
-			use(fileRes(ino))
+			use(a.fileRes(ino))
 			a.cwd = ino
 			if p, ok := a.fdPath[rec.FD]; ok {
 				a.cwdPath = p
@@ -518,7 +616,7 @@ func (a *analyzer) analyzeRecord(rec *trace.Record) []Touch {
 	case "aio_read", "aio_write":
 		use(a.fdRes(rec.FD))
 		if ino := a.fdFile[rec.FD]; ino != nil {
-			use(fileRes(ino))
+			use(a.fileRes(ino))
 		}
 		create(aioRes(rec.AIO))
 	case "aio_error", "aio_suspend":
@@ -542,23 +640,23 @@ func (a *analyzer) analyzeRename(rec *trace.Record, ts *[]Touch) {
 	del := func(r ResourceID) { *ts = append(*ts, Touch{r, RoleDelete}) }
 	oldP, newP := a.canon(rec.Path), a.canon(rec.Path2)
 	if dir := a.parentOf(oldP); dir != nil {
-		use(fileRes(dir))
+		use(a.fileRes(dir))
 	}
 	if dir := a.parentOf(newP); dir != nil {
-		use(fileRes(dir))
+		use(a.fileRes(dir))
 	}
 	src, err := a.fs.ResolveNoFollow(nil, oldP)
 	if err != vfs.OK {
 		a.warnf(rec, "rename source %q unresolvable: %v", oldP, err)
 		return
 	}
-	use(fileRes(src))
+	use(a.fileRes(src))
 	// Replaced destination, if any.
 	if dst, derr := a.fs.ResolveNoFollow(nil, newP); derr == vfs.OK {
 		if dst.Nlink <= 1 {
-			del(fileRes(dst))
+			del(a.fileRes(dst))
 		} else {
-			use(fileRes(dst))
+			use(a.fileRes(dst))
 		}
 	}
 	// Collect the subtree's relative paths before mutating the model.
@@ -585,7 +683,7 @@ func (a *analyzer) analyzeRename(rec *trace.Record, ts *[]Touch) {
 	del(a.pathRes(oldP))
 	create(a.bumpPath(newP))
 	for _, s := range subtree {
-		use(fileRes(s.ino))
+		use(a.fileRes(s.ino))
 		del(a.pathRes(oldP + s.rel))
 		create(a.bumpPath(newP + s.rel))
 	}

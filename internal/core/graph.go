@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
+	"sync"
 	"time"
 )
 
@@ -108,20 +110,32 @@ func BuildGraph(an *Analysis, modes ModeSet) *Graph {
 		return newGraph(n, dedupEdges(edges))
 	}
 
-	// Deterministic resource iteration order.
-	resources := make([]ResourceID, 0, len(an.Series))
-	for r := range an.Series {
-		resources = append(resources, r)
+	// Deterministic resource iteration order. The analyzer's dense
+	// resource list avoids a map iteration plus one hash per resource;
+	// hand-built analyses without it fall back to the map. Either way
+	// the sort permutes int32 indices (4-byte swaps, no reflect).
+	resources := an.Resources
+	seriesOf := func(k int32) []int { return an.SeriesList[k] }
+	if resources == nil {
+		resources = make([]ResourceID, 0, len(an.Series))
+		for r := range an.Series {
+			resources = append(resources, r)
+		}
+		seriesOf = func(k int32) []int { return an.Series[resources[k]] }
 	}
-	sort.Slice(resources, func(i, j int) bool {
-		a, b := resources[i], resources[j]
+	rord := make([]int32, len(resources))
+	for i := range rord {
+		rord[i] = int32(i)
+	}
+	slices.SortFunc(rord, func(i, j int32) int {
+		a, b := &resources[i], &resources[j]
 		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
+			return int(a.Kind) - int(b.Kind)
 		}
-		if a.Name != b.Name {
-			return a.Name < b.Name
+		if c := strings.Compare(a.Name, b.Name); c != 0 {
+			return c
 		}
-		return a.Gen < b.Gen
+		return a.Gen - b.Gen
 	})
 
 	roleOf := func(actIdx int, r ResourceID) Role {
@@ -133,8 +147,9 @@ func BuildGraph(an *Analysis, modes ModeSet) *Graph {
 		return RoleUse
 	}
 
-	for _, r := range resources {
-		series := an.Series[r]
+	for _, k := range rord {
+		r := resources[k]
+		series := seriesOf(k)
 		if len(series) < 2 {
 			continue
 		}
@@ -206,17 +221,23 @@ func dedupEdges(edges []Edge) []Edge {
 	for i := range ord {
 		ord[i] = int32(i)
 	}
-	sort.Slice(ord, func(i, j int) bool {
-		a, b := &edges[ord[i]], &edges[ord[j]]
+	slices.SortFunc(ord, func(i, j int32) int {
+		a, b := &edges[i], &edges[j]
 		if a.From != b.From {
-			return a.From < b.From
+			return a.From - b.From
 		}
 		if a.To != b.To {
-			return a.To < b.To
+			return a.To - b.To
 		}
-		return ord[i] < ord[j]
+		return int(i - j)
 	})
-	out := make([]Edge, 0, len(edges))
+	uniq := 1
+	for k := 1; k < len(ord); k++ {
+		if prev := &edges[ord[k-1]]; prev.From != edges[ord[k]].From || prev.To != edges[ord[k]].To {
+			uniq++
+		}
+	}
+	out := make([]Edge, 0, uniq)
 	for k, oi := range ord {
 		if k > 0 {
 			if prev := &edges[ord[k-1]]; prev.From == edges[oi].From && prev.To == edges[oi].To {
@@ -227,6 +248,11 @@ func dedupEdges(edges []Edge) []Edge {
 	}
 	return out
 }
+
+// closurePool recycles Reduce's positions-closure scratch table across
+// calls (compiles run concurrently in the experiment pool, hence a
+// sync.Pool rather than a plain global).
+var closurePool = sync.Pool{New: func() any { return []int32(nil) }}
 
 // Reduce returns a graph enforcing the same partial order with
 // transitively-redundant edges removed. An edge u -> v is redundant when
@@ -290,7 +316,15 @@ func (g *Graph) Reduce(an *Analysis) *Graph {
 	// Every edge goes forward in trace order, so processing u from n-1
 	// down to 0 sees each successor's closure before it is needed.
 	const inf = int32(1) << 30
-	closure := make([]int32, n*nt)
+	// The table is transient scratch filled with inf below, so pooling
+	// it across Reduce calls saves both the allocation and the
+	// runtime's zeroing of up to n*nt*4 bytes per compile.
+	closure := closurePool.Get().([]int32)
+	if cap(closure) < n*nt {
+		closure = make([]int32, n*nt)
+	}
+	closure = closure[:n*nt]
+	defer closurePool.Put(closure)
 	for i := range closure {
 		closure[i] = inf
 	}

@@ -52,8 +52,20 @@ func (tr *Trace) Window(from, to time.Duration) *Trace {
 // record the same platform — a merged replay runs against one syscall
 // surface, so mixing platforms is an error, not a silent pick of the
 // first. The result is renumbered.
+//
+// The merged trace reuses the inputs' intern tables rather than
+// re-allocating merged strings: records are copied by value, so their
+// string fields keep the inputs' backing storage, and the output's
+// table is the union of the inputs' tables (first table seen wins a
+// duplicate), so downstream editors keep deduplicating against the
+// same storage.
 func Merge(traces ...*Trace) (*Trace, error) {
 	out := &Trace{}
+	for _, tr := range traces {
+		if tr.intern != nil {
+			out.InternTable().AddAll(tr.intern)
+		}
+	}
 	const tidStride = 1000
 	const fdStride = 100000
 	for i, tr := range traces {

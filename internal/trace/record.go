@@ -118,6 +118,21 @@ type Trace struct {
 	Platform string
 	// Records in trace order. Seq fields match indices.
 	Records []*Record
+
+	// intern is the string table the records' Path/Call/Name/Err fields
+	// were deduplicated through, when the trace came from a parser that
+	// interns (the strace fast path, ParseTrace, Merge). May be nil for
+	// hand-built traces.
+	intern *Intern
+}
+
+// InternTable returns the trace's string-interning table, creating an
+// empty one on first use so editors (Merge) can always extend it.
+func (tr *Trace) InternTable() *Intern {
+	if tr.intern == nil {
+		tr.intern = NewIntern()
+	}
+	return tr.intern
 }
 
 // Renumber rewrites Seq fields to match slice positions; parsers call it

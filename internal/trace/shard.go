@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"rootreplay/internal/par"
+)
+
+// Sharded parsing splits the input at line boundaries into N chunks,
+// lexes the chunks in parallel on the par pool, and merges the shard
+// outputs deterministically, so the resulting Trace is identical to
+// what the sequential parser produces. The determinism argument (see
+// DESIGN.md "Trace ingest"):
+//
+//   - Chunk boundaries land on newlines, so every line is lexed by
+//     exactly one shard, and shards cover the lines in input order.
+//   - A shard fully parses only lines that are self-contained. The two
+//     line shapes whose meaning depends on earlier lines — `<unfinished
+//     ...>` openings and `<... resumed>` completions, which pair up
+//     through a per-TID pending map that can span shard boundaries —
+//     are deferred: the shard records the raw line and its position,
+//     and the merge replays them against the one global pending map,
+//     in line order. Records complete at a resumed line are appended
+//     at that line's position, exactly as the sequential parser does.
+//   - Timestamps: the sequential parser rebases against the first
+//     timestamp it sees, which may live in any shard-parsed or
+//     deferred line. Shards therefore parse in absolute time and
+//     report their first timestamp; the merge subtracts the earliest
+//     shard's (= the file's first, since shards are in line order)
+//     from every record afterwards.
+//   - Errors: shards stop at their first error and report it with its
+//     global line number. The merge walks shards in order and returns
+//     the first error it meets in line order — the same one the
+//     sequential parser would have stopped at. (Lines after it may
+//     have been parsed speculatively; their records are discarded
+//     with the trace.)
+//
+// Each shard interns into a private table; the merge unions the tables
+// so the final Trace carries one table covering all its strings.
+
+// shardDefer is a line whose interpretation needs cross-line state,
+// replayed during the merge. raw aliases the input buffer, which
+// outlives the merge.
+type shardDefer struct {
+	idx    int    // number of shard-parsed records preceding this line
+	lineNo int    // global 1-based line number
+	raw    string // trimmed line text
+}
+
+type shardResult struct {
+	p      *straceParser
+	defers []shardDefer
+	err    error
+}
+
+// ParseStraceSharded parses strace output like ParseStrace but lexes
+// the input in shards parallel chunks. The result is identical to the
+// sequential parse. shards <= 0 selects GOMAXPROCS. The whole input is
+// read into memory first; for bounded-memory ingest use
+// ParseStraceStream instead.
+func ParseStraceSharded(r io.Reader, shards int) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	return parseStraceBytes(data, shards)
+}
+
+// shardMinBytes is the input size below which the fan-out costs more
+// than it saves; a var so tests can force multi-shard runs on small
+// fixtures.
+var shardMinBytes = 1 << 20
+
+func parseStraceBytes(data []byte, shards int) (*Trace, error) {
+	if negativeLeadTS(data) {
+		return parseStraceFast(bytes.NewReader(data))
+	}
+	if shards > 1 && len(data) < shardMinBytes {
+		shards = 1
+	}
+	bounds := chunkBounds(data, shards)
+	results := make([]shardResult, len(bounds)-1)
+	par.ForEach(len(results), func(i int) error {
+		start, end := bounds[i], bounds[i+1]
+		startLine := bytes.Count(data[:start], []byte{'\n'}) + 1
+		results[i] = parseShard(data[start:end], startLine)
+		return nil
+	})
+	return mergeShards(results)
+}
+
+// negativeLeadTS reports whether the first parseable line of data
+// carries a negative timestamp. The sequential parser's rebase origin
+// is reassigned on every line while it is still negative, so with a
+// negative lead the per-record bases can differ and the merge's single
+// subtraction cannot reproduce them. Such traces (nonsensical, but
+// constructible) take the sequential path, which replicates the
+// reassignment exactly. Anything else the pre-scan cannot classify —
+// an over-long or malformed first line — is left to the sharded path,
+// which reports those errors identically to the sequential parser.
+func negativeLeadTS(data []byte) bool {
+	p := newStraceParser(false)
+	for len(data) > 0 {
+		lineB := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			lineB, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		if len(lineB) >= straceMaxLine {
+			return false
+		}
+		if n := len(lineB); n > 0 && lineB[n-1] == '\r' {
+			lineB = lineB[:n-1]
+		}
+		line := trimFast(bytesView(lineB))
+		if skipLine(line) {
+			continue
+		}
+		_, ts, _, err := p.header(line)
+		return err == nil && ts < 0
+	}
+	return false
+}
+
+// chunkBounds returns len(bounds)-1 = min(shards, possible) chunk
+// boundaries, each landing just after a newline (or at the ends of the
+// input).
+func chunkBounds(data []byte, shards int) []int {
+	bounds := []int{0}
+	for i := 1; i < shards; i++ {
+		pos := len(data) * i / shards
+		last := bounds[len(bounds)-1]
+		if pos < last {
+			pos = last
+		}
+		nl := bytes.IndexByte(data[pos:], '\n')
+		if nl < 0 {
+			break
+		}
+		pos += nl + 1
+		if pos > last {
+			bounds = append(bounds, pos)
+		}
+	}
+	return append(bounds, len(data))
+}
+
+// parseShard lexes one chunk. Lines that need cross-shard state are
+// deferred; everything else becomes records with absolute timestamps.
+func parseShard(chunk []byte, startLine int) shardResult {
+	res := shardResult{p: newStraceParser(false)}
+	p := res.p
+	lineNo := startLine - 1
+	for len(chunk) > 0 {
+		var lineB []byte
+		if nl := bytes.IndexByte(chunk, '\n'); nl >= 0 {
+			lineB, chunk = chunk[:nl], chunk[nl+1:]
+		} else {
+			lineB, chunk = chunk, nil
+		}
+		lineNo++
+		// Mirror the scanner's cap: the sequential parser fails with
+		// ErrTooLong once a buffer's worth of bytes holds no newline,
+		// which counts a trailing \r but not the \n.
+		if len(lineB) >= straceMaxLine {
+			res.err = tooLongError(lineNo)
+			return res
+		}
+		if n := len(lineB); n > 0 && lineB[n-1] == '\r' {
+			lineB = lineB[:n-1]
+		}
+		line := strings.TrimSpace(bytesView(lineB))
+		if skipLine(line) {
+			continue
+		}
+		tid, ts, rest, err := p.header(line)
+		if err != nil {
+			res.err = &ParseError{Line: lineNo, Text: strings.Clone(line), Msg: err.Error()}
+			return res
+		}
+		if p.firstTS < 0 {
+			p.firstTS = ts
+		}
+		if strings.HasPrefix(rest, "<...") || strings.HasSuffix(rest, "<unfinished ...>") {
+			res.defers = append(res.defers, shardDefer{
+				idx:    len(p.tr.Records),
+				lineNo: lineNo,
+				raw:    line, // aliases data; stable through the merge
+			})
+			continue
+		}
+		if err := p.finish(tid, ts, rest); err != nil {
+			res.err = &ParseError{Line: lineNo, Text: strings.Clone(line), Msg: err.Error()}
+			return res
+		}
+	}
+	return res
+}
+
+// mergeShards stitches shard outputs into one Trace, replaying deferred
+// lines against the global pending map.
+func mergeShards(results []shardResult) (*Trace, error) {
+	m := newStraceParser(false)
+	var firstTS int64 = -1
+	for i := range results {
+		sh := &results[i]
+		recs := sh.p.tr.Records
+		ri := 0
+		for _, d := range sh.defers {
+			for ; ri < d.idx; ri++ {
+				m.tr.Records = append(m.tr.Records, recs[ri])
+			}
+			if err := m.line(d.raw, d.lineNo); err != nil {
+				return nil, err
+			}
+		}
+		for ; ri < len(recs); ri++ {
+			m.tr.Records = append(m.tr.Records, recs[ri])
+		}
+		if sh.err != nil {
+			return nil, sh.err
+		}
+		if firstTS < 0 && sh.p.firstTS >= 0 {
+			firstTS = sh.p.firstTS
+		}
+		m.tab.AddAll(sh.p.tab)
+	}
+	if firstTS > 0 {
+		base := time.Duration(firstTS)
+		for _, r := range m.tr.Records {
+			r.Start -= base
+			r.End -= base
+		}
+	}
+	m.tr.Renumber()
+	return m.tr, nil
+}

@@ -29,7 +29,19 @@ var straceMaxLine = 16 << 20
 //
 // Unrecognized calls are skipped (strace traces far more than file I/O).
 // Timestamps are rebased so the earliest call starts at zero.
+//
+// ParseStrace is the zero-copy fast path (strace_fast.go); the original
+// line-at-a-time parser is kept below as parseStraceReference, the
+// semantic oracle the golden and fuzz tests compare against. For
+// parallel parsing of large inputs see ParseStraceSharded; for
+// overlapping the parse with compilation see ParseStraceStream.
 func ParseStrace(r io.Reader) (*Trace, error) {
+	return parseStraceFast(r)
+}
+
+// parseStraceReference is the original allocating parser, kept verbatim
+// as the behavioural oracle for the fast path.
+func parseStraceReference(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	// Scanner treats max(cap(buf), limit) as the cap, so the initial
 	// buffer must not exceed straceMaxLine for the limit to bind.
@@ -240,7 +252,7 @@ func (c *straceCall) finish(base int64) (*Record, error) {
 	rec.End = rec.Start + dur
 
 	args := splitStraceArgs(argstr)
-	if err := assignStraceArgs(rec, name, args); err != nil {
+	if err := assignStraceArgs(rec, name, args, nil); err != nil {
 		if err == errSkipCall {
 			return nil, nil
 		}
@@ -303,15 +315,32 @@ func parseIntArg(s string) int64 {
 	if i := strings.IndexByte(s, '<'); i > 0 {
 		s = s[:i]
 	}
+	// Plain decimals (almost every fd/size/offset) skip ParseInt's
+	// base-0 machinery; the gate in parseRetTok keeps octal/hex/"0x"
+	// spellings on the strconv path.
+	if n, ok := parseRetTok(s); ok {
+		return n
+	}
 	n, _ := strconv.ParseInt(s, 0, 64)
 	return n
 }
 
-// parseOpenFlags converts "O_RDWR|O_CREAT" to bits.
+// parseOpenFlags converts "O_RDWR|O_CREAT" to bits. It scans '|'-
+// separated byte ranges in place — no strings.Split slice, no per-token
+// substring allocation — and resolves each token through the compiler's
+// string-switch (a hash/compare tree, effectively a perfect hash over
+// the known flag names). Composite sets are additionally cached per
+// trace by Intern.openFlags.
 func parseOpenFlags(s string) OpenFlag {
 	var f OpenFlag
-	for _, tok := range strings.Split(s, "|") {
-		switch strings.TrimSpace(tok) {
+	for start := 0; start <= len(s); {
+		end := strings.IndexByte(s[start:], '|')
+		if end < 0 {
+			end = len(s)
+		} else {
+			end += start
+		}
+		switch strings.TrimSpace(s[start:end]) {
 		case "O_RDONLY":
 		case "O_WRONLY":
 			f |= OWronly
@@ -334,13 +363,19 @@ func parseOpenFlags(s string) OpenFlag {
 		case "O_SYNC", "O_FSYNC":
 			f |= OSync
 		}
+		start = end + 1
 	}
 	return f
 }
 
 // assignStraceArgs maps positional strace arguments onto Record fields
-// for each supported call.
-func assignStraceArgs(rec *Record, name string, args []string) error {
+// for each supported call. It is shared by the reference parser and the
+// zero-copy fast path: with a nil intern table retained strings are
+// stored as-is (the reference parser's lines are already durable
+// copies); with a table, every retained string — paths, xattr names,
+// fcntl op names — is interned, which both deduplicates storage and
+// severs any aliasing of the lexer's reusable line buffer.
+func assignStraceArgs(rec *Record, name string, args []string, tab *Intern) error {
 	need := func(n int) error {
 		if len(args) < n {
 			return fmt.Errorf("%s: want >=%d args, have %d", name, n, len(args))
@@ -352,8 +387,8 @@ func assignStraceArgs(rec *Record, name string, args []string) error {
 		if err := need(2); err != nil {
 			return err
 		}
-		rec.Path = unquoteStrace(args[0])
-		rec.Flags = parseOpenFlags(args[1])
+		rec.Path = tab.str(unquoteStrace(args[0]))
+		rec.Flags = tab.openFlags(args[1])
 		if len(args) > 2 {
 			rec.Mode = uint32(parseIntArg(args[2]))
 		}
@@ -364,8 +399,8 @@ func assignStraceArgs(rec *Record, name string, args []string) error {
 		if err := need(3); err != nil {
 			return err
 		}
-		rec.Path = unquoteStrace(args[1])
-		rec.Flags = parseOpenFlags(args[2])
+		rec.Path = tab.str(unquoteStrace(args[1]))
+		rec.Flags = tab.openFlags(args[2])
 		if len(args) > 3 {
 			rec.Mode = uint32(parseIntArg(args[3]))
 		}
@@ -376,7 +411,7 @@ func assignStraceArgs(rec *Record, name string, args []string) error {
 		if err := need(2); err != nil {
 			return err
 		}
-		rec.Path = unquoteStrace(args[0])
+		rec.Path = tab.str(unquoteStrace(args[0]))
 		rec.Mode = uint32(parseIntArg(args[1]))
 	case "close", "fsync", "fdatasync", "fstat", "fstat64", "fchdir", "fstatfs", "flistxattr":
 		if err := need(1); err != nil {
@@ -415,35 +450,35 @@ func assignStraceArgs(rec *Record, name string, args []string) error {
 		if err := need(1); err != nil {
 			return err
 		}
-		rec.Path = unquoteStrace(args[0])
+		rec.Path = tab.str(unquoteStrace(args[0]))
 	case "unlinkat":
 		if err := need(2); err != nil {
 			return err
 		}
-		rec.Path = unquoteStrace(args[1])
+		rec.Path = tab.str(unquoteStrace(args[1]))
 	case "mkdir", "chmod":
 		if err := need(2); err != nil {
 			return err
 		}
-		rec.Path = unquoteStrace(args[0])
+		rec.Path = tab.str(unquoteStrace(args[0]))
 		rec.Mode = uint32(parseIntArg(args[1]))
 	case "rename", "link", "symlink":
 		if err := need(2); err != nil {
 			return err
 		}
-		rec.Path = unquoteStrace(args[0])
-		rec.Path2 = unquoteStrace(args[1])
+		rec.Path = tab.str(unquoteStrace(args[0]))
+		rec.Path2 = tab.str(unquoteStrace(args[1]))
 	case "renameat", "renameat2", "linkat", "symlinkat":
 		if err := need(4); err != nil {
 			return err
 		}
-		rec.Path = unquoteStrace(args[1])
-		rec.Path2 = unquoteStrace(args[3])
+		rec.Path = tab.str(unquoteStrace(args[1]))
+		rec.Path2 = tab.str(unquoteStrace(args[3]))
 	case "truncate":
 		if err := need(2); err != nil {
 			return err
 		}
-		rec.Path = unquoteStrace(args[0])
+		rec.Path = tab.str(unquoteStrace(args[0]))
 		rec.Size = parseIntArg(args[1])
 	case "ftruncate", "ftruncate64":
 		if err := need(2); err != nil {
@@ -468,7 +503,7 @@ func assignStraceArgs(rec *Record, name string, args []string) error {
 		}
 		rec.Call = "fcntl"
 		rec.FD = parseIntArg(args[0])
-		rec.Name = strings.TrimSpace(args[1])
+		rec.Name = tab.str(strings.TrimSpace(args[1]))
 		if len(args) > 2 {
 			rec.Offset = parseIntArg(args[2])
 		}
@@ -482,8 +517,8 @@ func assignStraceArgs(rec *Record, name string, args []string) error {
 		if err := need(2); err != nil {
 			return err
 		}
-		rec.Path = unquoteStrace(args[0])
-		rec.Name = unquoteStrace(args[1])
+		rec.Path = tab.str(unquoteStrace(args[0]))
+		rec.Name = tab.str(unquoteStrace(args[1]))
 		if strings.HasPrefix(name, "setxattr") || strings.HasPrefix(name, "lsetxattr") {
 			if len(args) > 3 {
 				rec.Size = parseIntArg(args[3])
@@ -494,7 +529,7 @@ func assignStraceArgs(rec *Record, name string, args []string) error {
 			return err
 		}
 		rec.FD = parseIntArg(args[0])
-		rec.Name = unquoteStrace(args[1])
+		rec.Name = tab.str(unquoteStrace(args[1]))
 		if name == "fsetxattr" && len(args) > 3 {
 			rec.Size = parseIntArg(args[3])
 		}
@@ -506,7 +541,7 @@ func assignStraceArgs(rec *Record, name string, args []string) error {
 		rec.FD = parseIntArg(args[0])
 		rec.Offset = parseIntArg(args[1])
 		rec.Size = parseIntArg(args[2])
-		rec.Name = strings.TrimSpace(args[3])
+		rec.Name = tab.str(strings.TrimSpace(args[3]))
 	case "fallocate":
 		if err := need(4); err != nil {
 			return err

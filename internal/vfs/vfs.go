@@ -120,7 +120,29 @@ type FS struct {
 	// placement. Note the stack may delay the call while descriptors
 	// remain open; see FS.Release.
 	onFree func(*Inode)
+
+	// resCache memoizes successful absolute-path Resolve walks. Trace
+	// analysis resolves the same canonical paths over and over (every
+	// stat-like call resolves its path and its parent directory), so a
+	// hit skips the component walk entirely. The cache is valid only
+	// while the namespace is unchanged: every mutation of name→inode
+	// bindings bumps nsGen (see mutated), and a cache whose cacheGen
+	// lags nsGen is discarded wholesale rather than invalidated entry
+	// by entry — symlinks make precise invalidation global anyway.
+	resCache map[string]*Inode
+	nsGen    uint64
+	cacheGen uint64
 }
+
+// resCacheMax bounds the resolve cache; when full it is reset rather
+// than evicted (trace working sets either fit or churn).
+const resCacheMax = 4096
+
+// mutated notes a change to the namespace (any edit of name→inode
+// bindings, including symlink creation), invalidating the resolve
+// cache. Size/mode/xattr changes do not affect resolution and do not
+// bump.
+func (fs *FS) mutated() { fs.nsGen++ }
 
 // New returns an empty file system containing only the root directory.
 func New() *FS {
@@ -252,13 +274,30 @@ func (fs *FS) walk(base *Inode, path string, followLast bool, depth int) (resolu
 
 // Resolve looks up path from base (nil = root), following symlinks
 // including one in the final component. It returns the inode or ENOENT.
+// Successful absolute-path lookups from the root are served from the
+// resolve cache while the namespace is unchanged.
 func (fs *FS) Resolve(base *Inode, path string) (*Inode, Errno) {
+	cacheable := base == nil && len(path) > 0 && path[0] == '/'
+	if cacheable && fs.cacheGen == fs.nsGen {
+		if ino, ok := fs.resCache[path]; ok {
+			return ino, OK
+		}
+	}
 	res, err := fs.walk(base, path, true, 0)
 	if err != OK {
 		return nil, err
 	}
 	if res.inode == nil {
 		return nil, ENOENT
+	}
+	if cacheable {
+		if fs.resCache == nil {
+			fs.resCache = make(map[string]*Inode, 256)
+		} else if fs.cacheGen != fs.nsGen || len(fs.resCache) >= resCacheMax {
+			clear(fs.resCache)
+		}
+		fs.cacheGen = fs.nsGen
+		fs.resCache[path] = res.inode
 	}
 	return res.inode, OK
 }
@@ -289,6 +328,7 @@ func (fs *FS) Mkdir(base *Inode, path string, mode uint32) (*Inode, Errno) {
 	dir.parent = res.parent
 	res.parent.children[res.name] = dir
 	res.parent.Nlink++
+	fs.mutated()
 	return dir, OK
 }
 
@@ -350,6 +390,7 @@ func (fs *FS) Create(base *Inode, path string, mode uint32, excl bool) (*Inode, 
 	}
 	f := fs.newInode(TypeRegular, mode)
 	res.parent.children[res.name] = f
+	fs.mutated()
 	return f, true, OK
 }
 
@@ -364,6 +405,7 @@ func (fs *FS) Mknod(base *Inode, path string, mode uint32) (*Inode, Errno) {
 	}
 	f := fs.newInode(TypeSpecial, mode)
 	res.parent.children[res.name] = f
+	fs.mutated()
 	return f, OK
 }
 
@@ -381,6 +423,7 @@ func (fs *FS) Symlink(base *Inode, target, linkPath string) (*Inode, Errno) {
 	l.Target = target
 	l.Size = int64(len(target))
 	res.parent.children[res.name] = l
+	fs.mutated()
 	return l, OK
 }
 
@@ -415,6 +458,7 @@ func (fs *FS) Link(base *Inode, oldPath, newPath string) Errno {
 	}
 	res.parent.children[res.name] = target
 	target.Nlink++
+	fs.mutated()
 	return OK
 }
 
@@ -434,6 +478,7 @@ func (fs *FS) Unlink(base *Inode, path string) Errno {
 		return EISDIR
 	}
 	delete(res.parent.children, res.name)
+	fs.mutated()
 	res.inode.Nlink--
 	if res.inode.Nlink == 0 && fs.onFree != nil {
 		fs.onFree(res.inode)
@@ -460,6 +505,7 @@ func (fs *FS) Rmdir(base *Inode, path string) Errno {
 		return ENOTEMPTY
 	}
 	delete(res.parent.children, res.name)
+	fs.mutated()
 	res.parent.Nlink--
 	res.inode.Nlink = 0
 	if fs.onFree != nil {
@@ -531,6 +577,7 @@ func (fs *FS) Rename(base *Inode, oldPath, newPath string) Errno {
 	}
 	delete(oldRes.parent.children, oldRes.name)
 	newRes.parent.children[newRes.name] = src
+	fs.mutated()
 	if src.Type == TypeDir && oldRes.parent != newRes.parent {
 		oldRes.parent.Nlink--
 		newRes.parent.Nlink++
@@ -560,6 +607,7 @@ func (fs *FS) Exchange(base *Inode, pathA, pathB string) Errno {
 	}
 	resA.parent.children[resA.name] = resB.inode
 	resB.parent.children[resB.name] = resA.inode
+	fs.mutated()
 	return OK
 }
 

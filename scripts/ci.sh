@@ -7,7 +7,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-tag="${1:-pr3}"
+tag="${1:-pr4}"
 
 echo "== go vet"
 go vet ./...
@@ -26,10 +26,20 @@ GOMAXPROCS=8 /tmp/artc-ci trace -magritte pages_docphoto15 -quiet -o /tmp/ci-tra
 cmp /tmp/ci-trace-1.json /tmp/ci-trace-2.json
 rm -f /tmp/artc-ci /tmp/ci-trace-1.json /tmp/ci-trace-2.json
 
+echo "== ingest: sequential and sharded strace parses agree byte for byte"
+go build -o /tmp/artc-ci ./cmd/artc
+go build -o /tmp/tracegen-ci ./cmd/tracegen
+/tmp/tracegen-ci -format strace -threads 8 -ops 2500 -seed 42 -o /tmp/ci-ingest.strace -snapshot /tmp/ci-ingest.snap
+/tmp/artc-ci convert -trace /tmp/ci-ingest.strace -format strace -to native -o /tmp/ci-ingest-seq.trace
+GOMAXPROCS=8 /tmp/artc-ci convert -trace /tmp/ci-ingest.strace -format strace -shards 8 -to native -o /tmp/ci-ingest-shard.trace
+cmp /tmp/ci-ingest-seq.trace /tmp/ci-ingest-shard.trace
+GOMAXPROCS=8 go test -race -count=1 -run 'StraceGolden|ParseStraceAllocRegression|MergeShares|ShardedShares' ./internal/trace/
+rm -f /tmp/artc-ci /tmp/tracegen-ci /tmp/ci-ingest.strace /tmp/ci-ingest.snap /tmp/ci-ingest-seq.trace /tmp/ci-ingest-shard.trace
+
 echo "== perfstat -> BENCH_${tag}.json"
 go run ./cmd/perfstat -o "BENCH_${tag}.json"
 
-prev="BENCH_pr2.json"
+prev="BENCH_pr3.json"
 if [ -f "$prev" ] && [ "$prev" != "BENCH_${tag}.json" ]; then
   echo "== benchcmp $prev vs BENCH_${tag}.json"
   go run ./cmd/benchcmp "$prev" "BENCH_${tag}.json"
