@@ -1,6 +1,7 @@
 GO ?= go
+TAG ?= pr5
 
-.PHONY: build test race vet bench perfstat profile ci
+.PHONY: build test race vet bench perfstat profile chaos fuzz ci
 
 build:
 	$(GO) build ./...
@@ -14,15 +15,16 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Microbenchmarks plus the perfstat snapshot/gate lane (writes
+# BENCH_$(TAG).json and compares against the newest earlier snapshot).
 bench:
-	$(GO) test -run '^$$' -bench 'Compile' -benchtime 1x -benchmem .
 	$(GO) test -run '^$$' -bench 'Kernel|OracleHeap' -benchmem ./internal/sim/
 	$(GO) test -run '^$$' -bench 'ParseStrace|ParseSharded' -benchmem ./internal/trace/
-	$(GO) run ./cmd/perfstat -o BENCH_pr4.json
-	@if [ -f BENCH_pr3.json ]; then $(GO) run ./cmd/benchcmp BENCH_pr3.json BENCH_pr4.json; fi
+	$(GO) test -run '^$$' -bench 'ReplayFault' -benchtime 1x -benchmem .
+	./scripts/ci.sh bench $(TAG)
 
 perfstat:
-	$(GO) run ./cmd/perfstat -o BENCH_pr4.json
+	$(GO) run ./cmd/perfstat -o BENCH_$(TAG).json
 
 # CPU and heap profiles of the perfstat workload (compile + replay +
 # kernel microbenchmarks); inspect with `go tool pprof cpu.out`.
@@ -30,5 +32,13 @@ profile:
 	$(GO) run ./cmd/perfstat -o /dev/null -cpuprofile cpu.out -memprofile mem.out
 	@echo "wrote cpu.out and mem.out; open with: $(GO) tool pprof cpu.out"
 
+# Seeded fault-injection sweep over the Magritte corpus; exits non-zero
+# on any chaos-invariant violation.
+chaos:
+	./scripts/ci.sh chaos
+
+fuzz:
+	./scripts/ci.sh fuzz
+
 ci:
-	./scripts/ci.sh
+	./scripts/ci.sh all $(TAG)

@@ -5,6 +5,7 @@ import (
 
 	"rootreplay/internal/artc"
 	"rootreplay/internal/experiments"
+	"rootreplay/internal/fault"
 	"rootreplay/internal/magritte"
 	"rootreplay/internal/obs"
 	"rootreplay/internal/sim"
@@ -235,6 +236,58 @@ func BenchmarkReplayObsOff(b *testing.B) {
 
 func BenchmarkReplayObsOn(b *testing.B) {
 	benchmarkReplayObs(b, func() *obs.Recorder { return obs.NewRecorder(0, 0) })
+}
+
+// BenchmarkReplayFault{Off,On} bound fault injection's replay cost on
+// the same mid-size Magritte benchmark. Off (no injector at all) must
+// stay within noise of BenchmarkReplayObsOff — the disabled path is one
+// nil check per action and no device wrapping — while On carries a
+// modest syscall+storage rate with retries, watchdog, and both fault
+// sites armed.
+func benchmarkReplayFault(b *testing.B, plan func() *fault.Plan) {
+	spec, _ := magritte.SpecByName("pages_docphoto15")
+	gen, err := magritte.Generate(spec, magritte.GenOptions{Scale: 0.02, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, err := Compile(gen.Trace, gen.Snapshot, DefaultModes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := magritte.DefaultSuiteOptions().Target
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var in *fault.Injector
+		conf := target
+		if p := plan(); p != nil {
+			in = fault.New(*p)
+			conf.Faults = in
+		}
+		k := sim.NewKernel()
+		sys := stack.New(k, conf)
+		if err := magritte.InitTarget(sys, bench, true); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := artc.Replay(sys, bench, artc.Options{Fault: in}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(gen.Trace.Records)), "records")
+}
+
+func BenchmarkReplayFaultOff(b *testing.B) {
+	benchmarkReplayFault(b, func() *fault.Plan { return nil })
+}
+
+func BenchmarkReplayFaultOn(b *testing.B) {
+	benchmarkReplayFault(b, func() *fault.Plan {
+		return &fault.Plan{
+			Seed:    1,
+			Syscall: fault.SyscallPlan{Rate: 0.01},
+			Storage: fault.StoragePlan{ErrorRate: 0.01, SlowRate: 0.01},
+			Retry:   fault.RetryPlan{MaxAttempts: 4},
+		}
+	})
 }
 
 // BenchmarkCompile measures the compiler itself on a mid-size Magritte

@@ -5,6 +5,8 @@
 //	artc replay  -bench app.bench -target linux-ext4-hdd -method artc -speed afap
 //	artc inspect -bench app.bench
 //	artc trace   -magritte pages_docphoto15 -o replay.trace.json
+//	artc chaos   -magritte pages_docphoto15 -seeds 16 -verify
+//	artc chaos   -magritte pages_docphoto15 -seed 3 -o chaos-seed3.json
 //
 // compile turns a trace (native or strace format) plus an optional
 // initial-state snapshot into a self-contained benchmark file; -shards
@@ -14,7 +16,11 @@
 // and semantic accuracy. inspect prints a benchmark's dependency-graph
 // statistics. trace replays with the observability recorder enabled and
 // exports a Chrome trace_event JSON file (loadable in Perfetto) plus a
-// text summary and critical-path report.
+// text summary and critical-path report. chaos replays under seeded
+// fault injection: -seeds N sweeps consecutive seeds asserting the
+// chaos invariants (clean termination, monotonic virtual clock,
+// per-seed reproducibility with -verify), while a single -seed run
+// exports a deterministic JSON document for bit-reproducibility checks.
 package main
 
 import (
@@ -27,6 +33,8 @@ import (
 
 	"rootreplay/internal/artc"
 	"rootreplay/internal/core"
+	"rootreplay/internal/fault"
+	"rootreplay/internal/fault/chaostest"
 	"rootreplay/internal/magritte"
 	"rootreplay/internal/obs"
 	"rootreplay/internal/sim"
@@ -51,6 +59,8 @@ func main() {
 		err = inspectCmd(os.Args[2:])
 	case "trace":
 		err = traceCmd(os.Args[2:])
+	case "chaos":
+		err = chaosCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -61,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: artc <compile|convert|replay|inspect|trace> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: artc <compile|convert|replay|inspect|trace|chaos> [flags]")
 	os.Exit(2)
 }
 
@@ -427,5 +437,103 @@ func inspectCmd(args []string) error {
 		st.Edges, st.Edges+st.ReducedEdges, st.MeanLength, st.MaxLength)
 	fmt.Printf("temporal edges: %d (mean span %v)\n", tst.Edges, tst.MeanLength)
 	fmt.Printf("warnings:      %d\n", len(b.Analysis.Warnings))
+	return nil
+}
+
+// chaosCmd replays a Magritte trace under seeded fault injection,
+// either sweeping many seeds (-seeds) or exporting one seed's
+// deterministic outcome (-seed with -o). Any invariant violation makes
+// the command exit nonzero, so CI can gate on it directly.
+func chaosCmd(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	spec := fs.String("magritte", "", "Magritte trace name to generate and replay (required)")
+	genScale := fs.Float64("gen-scale", 0.02, "Magritte generation scale")
+	genSeed := fs.Int64("gen-seed", 5, "Magritte generation seed")
+	target := fs.String("target", "linux-ext4-ssd-noop", "target machine: platform-fs-device[-sched]")
+	seedBase := fs.Uint64("seed", 1, "base fault seed")
+	seeds := fs.Int("seeds", 1, "number of consecutive seeds to sweep")
+	sysRate := fs.Float64("syscall-rate", 0.02, "syscall fault probability per attempt")
+	errno := fs.String("errno", "EIO", "errno injected syscall faults return")
+	devRate := fs.Float64("storage-error-rate", 0.02, "transient device error probability per completion")
+	slowRate := fs.Float64("storage-slow-rate", 0.02, "slow-IO tail-latency probability per completion")
+	retries := fs.Int("retries", 4, "replayer retry attempts per injected failure (1 = no retry)")
+	watchdog := fs.Duration("watchdog", time.Minute, "virtual-time stall watchdog window (0 = off)")
+	verify := fs.Bool("verify", false, "replay each seed twice and demand identical results")
+	out := fs.String("o", "", "write the first seed's export JSON (implies span recording)")
+	quiet := fs.Bool("quiet", false, "suppress per-seed summaries")
+	fs.Parse(args)
+
+	if *spec == "" {
+		return fmt.Errorf("-magritte is required")
+	}
+	sp, ok := magritte.SpecByName(*spec)
+	if !ok {
+		return fmt.Errorf("unknown Magritte trace %q", *spec)
+	}
+	gen, err := magritte.Generate(sp, magritte.GenOptions{Scale: *genScale, Seed: *genSeed})
+	if err != nil {
+		return err
+	}
+	b, err := artc.Compile(gen.Trace, gen.Snapshot, core.DefaultModes())
+	if err != nil {
+		return err
+	}
+	conf, err := targetConfig(*target, 0, 0)
+	if err != nil {
+		return err
+	}
+	opts := chaostest.Options{
+		Bench:  b,
+		Target: conf,
+		Plan: fault.Plan{
+			Syscall:  fault.SyscallPlan{Rate: *sysRate, Errno: *errno},
+			Storage:  fault.StoragePlan{ErrorRate: *devRate, SlowRate: *slowRate},
+			Retry:    fault.RetryPlan{MaxAttempts: *retries},
+			Watchdog: *watchdog,
+		},
+		Verify: *verify,
+		Obs:    *out != "",
+	}
+
+	var results []*chaostest.Result
+	if *seeds <= 1 {
+		res, rec := chaostest.RunSeed(opts, *seedBase)
+		results = append(results, &res)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			if err := chaostest.WriteExport(f, &res, rec); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	} else {
+		if *out != "" {
+			return fmt.Errorf("-o requires a single seed (drop -seeds)")
+		}
+		sw := chaostest.Sweep(opts, chaostest.Seeds(*seedBase, *seeds))
+		for i := range sw {
+			results = append(results, &sw[i])
+		}
+	}
+
+	bad := 0
+	for _, res := range results {
+		if !*quiet {
+			fmt.Println(res)
+		}
+		for _, v := range res.Violations {
+			bad++
+			fmt.Fprintf(os.Stderr, "seed %d: %s\n", res.Seed, v)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d invariant violation(s) across %d seed(s)", bad, len(results))
+	}
 	return nil
 }

@@ -1,19 +1,44 @@
 // Command benchcmp prints a benchstat-style comparison of two perfstat
 // JSON records (BENCH_<tag>.json): every numeric field the two files
-// share, with old value, new value, and the percentage delta. Exits
-// non-zero on malformed input, never on a regression — the numbers are
-// for humans and CI logs, not a gate.
+// share, with old value, new value, and the percentage delta.
 //
-// Usage: benchcmp OLD.json NEW.json
+// With -gate, the key performance metrics also become a CI gate: the
+// command exits non-zero when any of them regresses by more than
+// -threshold (a fraction; default 0.25 = 25%, loose enough for shared
+// CI runners). Metrics have a direction — replay_ns regresses when it
+// grows, records_per_second when it shrinks — and metrics absent from
+// either file are skipped, so adding a new perfstat field never breaks
+// old comparisons.
+//
+// Usage: benchcmp [-gate] [-threshold 0.25] OLD.json NEW.json
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 )
+
+// gatedMetrics maps each gated perfstat field to its direction: true
+// means lower is better (times, allocs), false means higher is better
+// (throughputs).
+var gatedMetrics = map[string]bool{
+	"replay_ns":                        true,
+	"obs_replay_ns":                    true,
+	"compile_ns_per_op":                true,
+	"parse_allocs_per_record":          true,
+	"kernel_timer_churn_ns_per_op":     true,
+	"kernel_timer_churn_allocs_per_op": true,
+	"kernel_sleep_churn_ns_per_op":     true,
+	"kernel_pingpong_ns_per_op":        true,
+	"kernel_completion_ns_per_op":      true,
+	"records_per_second":               false,
+	"parse_records_per_second":         false,
+	"parse_sharded_records_per_second": false,
+}
 
 func load(path string) (map[string]interface{}, error) {
 	data, err := os.ReadFile(path)
@@ -28,16 +53,19 @@ func load(path string) (map[string]interface{}, error) {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp OLD.json NEW.json")
+	gate := flag.Bool("gate", false, "exit non-zero when a key metric regresses beyond -threshold")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional regression per gated metric")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-gate] [-threshold 0.25] OLD.json NEW.json")
 		os.Exit(2)
 	}
-	oldM, err := load(os.Args[1])
+	oldM, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
 	}
-	newM, err := load(os.Args[2])
+	newM, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
@@ -79,6 +107,52 @@ func main() {
 		}
 		fmt.Printf("%-*s  %14s  %14s  %8s\n", width, k, formatNum(ov), formatNum(nv), delta)
 	}
+
+	if !*gate {
+		return
+	}
+	var regressions []string
+	for _, k := range keys {
+		lowerBetter, gated := gatedMetrics[k]
+		if !gated {
+			continue
+		}
+		ov := oldM[k].(float64)
+		nv := newM[k].(float64)
+		if ov <= 0 {
+			continue // nothing to compare against (e.g. zero allocs)
+		}
+		var worse float64 // fractional regression in the metric's bad direction
+		if lowerBetter {
+			worse = (nv - ov) / ov
+		} else {
+			worse = (ov - nv) / ov
+		}
+		if worse > *threshold {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %s -> %s (%.1f%% worse, threshold %.1f%%)",
+				k, formatNum(ov), formatNum(nv), worse*100, *threshold*100))
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d gated metric(s) regressed:\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, " ", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("gate: %d metric(s) within %.0f%% of %s\n", countGated(keys), *threshold*100, flag.Arg(0))
+}
+
+// countGated reports how many of the shared keys the gate examined.
+func countGated(keys []string) int {
+	n := 0
+	for _, k := range keys {
+		if _, ok := gatedMetrics[k]; ok {
+			n++
+		}
+	}
+	return n
 }
 
 // formatNum renders integers without a mantissa and everything else

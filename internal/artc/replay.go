@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rootreplay/internal/core"
+	"rootreplay/internal/fault"
 	"rootreplay/internal/obs"
 	"rootreplay/internal/sim"
 	"rootreplay/internal/snapshot"
@@ -75,6 +76,15 @@ type Options struct {
 	// sweeps; non-positive selects obs.DefaultProbeInterval. Only
 	// meaningful with Obs set.
 	ObsInterval time.Duration
+	// Fault, when non-nil, applies the injector's plan to the replay:
+	// selected actions return injected errors (feeding the semantic
+	// error accounting), injected failures are retried with capped
+	// backoff in virtual time, the stall watchdog converts silent hangs
+	// into structured StallReports, and the degrade mode decides between
+	// skip-and-count and abort. Pass the same injector in the target's
+	// stack.Config.Faults so storage and syscall counters share one
+	// fault.Stats. Nil costs one pointer check per action.
+	Fault *fault.Injector
 }
 
 // Report is the replayer's detailed output (§4.3.3): wall-clock time,
@@ -107,6 +117,9 @@ type Report struct {
 	PerThread map[int]time.Duration
 	// Graph summarizes the dependency structure replay enforced.
 	Graph core.GraphStats
+	// FaultStats snapshots the fault injector's counters at the end of
+	// the replay (nil when no injector was configured).
+	FaultStats *fault.Stats
 
 	// graph retains the enforced dependency graph for post-hoc analysis
 	// (CriticalPath); unexported so reports stay JSON-light.
@@ -130,6 +143,67 @@ func (r *Report) CriticalPath(b *Benchmark) *obs.CriticalPath {
 		return &obs.CriticalPath{}
 	}
 	return obs.Critical(r.graph, b.Trace.Records, r.IssueAt, r.DoneAt)
+}
+
+// BlockedAction is one not-yet-completed action in a StallReport, with
+// the replayer's explanation of what it is waiting for.
+type BlockedAction struct {
+	Action int
+	TID    int
+	Call   string
+	Path   string
+	// Reason is the wait description: the unsatisfied dependency (with
+	// the first genuinely-unsatisfied edge named) for an action parked
+	// on the graph, or "in call" for one stuck inside the stack.
+	Reason string
+}
+
+// String renders the blocked action one line.
+func (b BlockedAction) String() string {
+	return fmt.Sprintf("action %d [T%d] %s(%s): %s", b.Action, b.TID, b.Call, b.Path, b.Reason)
+}
+
+// maxStallBlocked bounds a StallReport's blocked-action list; the rest
+// are counted in Truncated.
+const maxStallBlocked = 32
+
+// StallReport is the structured error a fault-injected replay returns
+// when the stall watchdog fires without progress or the degrade-abort
+// error budget is exhausted: which actions were stuck and why, plus the
+// critical path of the completed prefix when observability was on. It
+// converts a silent hang into an actionable deadlock report.
+type StallReport struct {
+	// Trigger is "watchdog" or "error-budget".
+	Trigger string
+	// At is the virtual time of the abort, relative to replay start;
+	// Window is the watchdog interval that elapsed without progress
+	// (zero for error-budget aborts).
+	At, Window time.Duration
+	// Completed of Total actions had finished; Errors semantic
+	// mismatches had accumulated.
+	Completed, Total int
+	Errors           int
+	// Blocked lists stuck actions with wait reasons (capped at
+	// maxStallBlocked; Truncated counts the omitted remainder).
+	Blocked   []BlockedAction
+	Truncated int
+	// Crit is the critical path over the completed prefix, attached when
+	// the replay ran with Options.Obs set.
+	Crit *obs.CriticalPath
+}
+
+// Error implements the error interface with a one-paragraph summary
+// naming every reported blocked action and its wait reason.
+func (s *StallReport) Error() string {
+	msg := fmt.Sprintf("artc: replay stalled (%s) at %v: %d/%d actions done, %d error(s), %d blocked",
+		s.Trigger, s.At, s.Completed, s.Total, s.Errors, len(s.Blocked)+s.Truncated)
+	for _, b := range s.Blocked {
+		msg += "; " + b.String()
+	}
+	if s.Truncated > 0 {
+		msg += fmt.Sprintf("; ... %d more", s.Truncated)
+	}
+	return msg
 }
 
 // Init restores the benchmark's initial snapshot into sys under prefix.
@@ -181,6 +255,17 @@ type replayState struct {
 	releasedAt   []time.Duration
 	obsDetach    func()
 
+	// Fault injection (all nil/zero when opts.Fault is nil). completed
+	// counts finished actions — the watchdog's progress signal;
+	// lastProgress is the count at the previous watchdog fire; stall is
+	// set (and the kernel stopped) when the watchdog fires without
+	// progress or the degrade-abort budget is exhausted.
+	inj          *fault.Injector
+	completed    int
+	lastProgress int
+	watchdog     *sim.Timer
+	stall        *StallReport
+
 	rep *Report
 }
 
@@ -227,6 +312,14 @@ func ReplayConcurrent(sys *stack.System, items []ConcurrentItem) ([]*Report, err
 	}
 	if err := sys.K.Run(); err != nil {
 		return nil, fmt.Errorf("artc: concurrent replay stalled: %w", err)
+	}
+	// A watchdog or degrade abort stops the whole kernel, leaving the
+	// other benchmarks incomplete: report the stall, not the incidental
+	// self-check failures of its victims.
+	for i, rs := range states {
+		if rs.stall != nil {
+			return nil, fmt.Errorf("artc: benchmark %d: %w", i, rs.stall)
+		}
 	}
 	reports := make([]*Report, len(states))
 	for i, rs := range states {
@@ -327,6 +420,32 @@ func start(sys *stack.System, b *Benchmark, opts Options) (*replayState, error) 
 		rs.obsDetach = rs.obs.InstallProbes(sys.K, opts.ObsInterval, probes...)
 	}
 
+	if opts.Fault != nil {
+		rs.inj = opts.Fault
+		if wd := rs.inj.Watchdog(); wd > 0 && n > 0 {
+			// The watchdog fires every wd of virtual time; a fire that
+			// sees no completions since the previous one declares the
+			// replay stalled, records the structured report, and stops
+			// the kernel. Once every action is done it simply does not
+			// re-arm. lastProgress starts at -1 so the first fire always
+			// records a baseline rather than stalling; detection latency
+			// is therefore at most two windows.
+			rs.lastProgress = -1
+			rs.watchdog = sys.K.NewTimer(func() {
+				switch {
+				case rs.completed >= n:
+				case rs.completed == rs.lastProgress:
+					rs.stall = rs.buildStall("watchdog")
+					rs.sys.K.Stop()
+				default:
+					rs.lastProgress = rs.completed
+					rs.watchdog.Reset(wd)
+				}
+			})
+			rs.watchdog.Reset(wd)
+		}
+	}
+
 	if opts.Method == MethodSingle {
 		sys.K.Spawn("replay-single", func(t *sim.Thread) {
 			for i := 0; i < n; i++ {
@@ -355,11 +474,60 @@ func start(sys *stack.System, b *Benchmark, opts Options) (*replayState, error) 
 	return rs, nil
 }
 
+// buildStall assembles the structured stall report: every action that
+// has not completed, with its wait reason, plus the critical path of
+// the completed prefix when observability is on.
+func (rs *replayState) buildStall(trigger string) *StallReport {
+	s := &StallReport{
+		Trigger:   trigger,
+		At:        rs.sys.K.Now() - rs.start,
+		Completed: rs.completed,
+		Total:     len(rs.b.Trace.Records),
+		Errors:    rs.rep.Errors,
+	}
+	if trigger == "watchdog" && rs.inj != nil {
+		s.Window = rs.inj.Watchdog()
+	}
+	for i := range rs.status {
+		if rs.status[i]&actDone != 0 {
+			continue
+		}
+		rec := rs.b.Trace.Records[i]
+		ba := BlockedAction{Action: i, TID: rec.TID, Call: rec.Call, Path: rec.Path}
+		switch {
+		case rs.waiting[i] != nil:
+			ba.Reason = rs.waitReason(i)
+		case rs.status[i]&actIssued != 0:
+			ba.Reason = "in call"
+		default:
+			// Not yet reached by its replay thread; its turn never came,
+			// which the blocked actions ahead of it already explain.
+			continue
+		}
+		if len(s.Blocked) >= maxStallBlocked {
+			s.Truncated++
+			continue
+		}
+		s.Blocked = append(s.Blocked, ba)
+	}
+	if rs.obs != nil {
+		s.Crit = obs.Critical(rs.g, rs.b.Trace.Records, rs.issueAt, rs.doneAt)
+	}
+	return s
+}
+
 // finish assembles the report after the simulation has run.
 func (rs *replayState) finish() (*Report, error) {
+	if rs.watchdog != nil {
+		rs.watchdog.Stop()
+		rs.watchdog = nil
+	}
 	if rs.obsDetach != nil {
 		rs.obsDetach()
 		rs.obsDetach = nil
+	}
+	if rs.stall != nil {
+		return nil, rs.stall
 	}
 	rs.finishReport()
 	if rs.opts.SelfCheck {
@@ -471,11 +639,29 @@ func (rs *replayState) playAction(t *sim.Thread, idx int) {
 		}
 	}
 
-	ret, errno, emulated := rs.execute(t, idx)
+	ret, errno, emulated, injected := rs.execute(t, idx, 0)
+	if rs.inj != nil && injected && errno != vfs.OK && rs.b.Trace.Records[idx].OK() {
+		// The failure was injected and the trace expected success: retry
+		// with capped exponential backoff in virtual time. Each attempt
+		// re-decides injection independently (transient faults), and a
+		// genuine model failure on a retry ends the loop.
+		for attempt := 1; attempt < rs.inj.RetryAttempts(); attempt++ {
+			rs.inj.CountRetry()
+			t.Sleep(rs.inj.Backoff(attempt))
+			ret, errno, emulated, injected = rs.execute(t, idx, attempt)
+			if errno == vfs.OK || !injected {
+				break
+			}
+		}
+		if errno == vfs.OK {
+			rs.inj.CountRecovered()
+		}
+	}
 
 	end := rs.sys.K.Now()
 	rs.doneAt[idx] = end - rs.start
 	rs.status[idx] |= actDone
+	rs.completed++
 	for _, ei := range rs.g.Succs[idx] {
 		if rs.g.Edges[ei].Kind == core.WaitComplete {
 			rs.depSatisfied(ei)
@@ -512,12 +698,23 @@ func (rs *replayState) playAction(t *sim.Thread, idx int) {
 		}
 		rs.obs.Record(sp)
 	}
-	rs.compare(idx, rec, ret, errno)
+	if mismatched := rs.compare(idx, rec, ret, errno); mismatched && rs.inj != nil {
+		if injected {
+			// An injected failure survived the retry budget: in skip
+			// mode it is counted and the replay degrades gracefully.
+			rs.inj.CountSkipped()
+		}
+		if mode, budget := rs.inj.Degrade(); mode == fault.DegradeAbort &&
+			rs.rep.Errors > budget && rs.stall == nil {
+			rs.stall = rs.buildStall("error-budget")
+			rs.sys.K.Stop()
+		}
+	}
 }
 
 // compare records a semantic mismatch between the traced and replayed
-// outcome of an action.
-func (rs *replayState) compare(idx int, rec *trace.Record, ret int64, errno vfs.Errno) {
+// outcome of an action, reporting whether one occurred.
+func (rs *replayState) compare(idx int, rec *trace.Record, ret int64, errno vfs.Errno) bool {
 	tracedOK := rec.OK()
 	replayOK := errno == vfs.OK
 	mismatch := ""
@@ -530,13 +727,14 @@ func (rs *replayState) compare(idx int, rec *trace.Record, ret int64, errno vfs.
 		mismatch = fmt.Sprintf("traced %s, replay %v", rec.Err, errno)
 	}
 	if mismatch == "" {
-		return
+		return false
 	}
 	rs.rep.Errors++
 	if len(rs.rep.ErrorSamples) < rs.opts.MaxErrorSamples {
 		rs.rep.ErrorSamples = append(rs.rep.ErrorSamples,
 			fmt.Sprintf("action %d [T%d] %s(%s): %s", idx, rec.TID, rec.Call, rec.Path, mismatch))
 	}
+	return true
 }
 
 // finishReport fills derived fields after the simulation ends.
@@ -551,6 +749,10 @@ func (rs *replayState) finishReport() {
 	copy(rs.rep.IssueAt, rs.issueAt)
 	copy(rs.rep.DoneAt, rs.doneAt)
 	rs.rep.Graph = rs.g.Stats(rs.b.Analysis)
+	if rs.inj != nil {
+		st := rs.inj.Stats()
+		rs.rep.FaultStats = &st
+	}
 }
 
 // actionTouches is one action's precomputed FD/AIO resource plan: the
@@ -630,11 +832,19 @@ func findAIOTouch(act *core.Action, create bool) int16 {
 	return -1
 }
 
-// execute performs the action against the target system: path
-// prefixing, descriptor and AIOCB remapping, and cross-platform
-// emulation.
-func (rs *replayState) execute(t *sim.Thread, idx int) (int64, vfs.Errno, bool) {
+// execute performs the given attempt of the action against the target
+// system: fault injection, path prefixing, descriptor and AIOCB
+// remapping, and cross-platform emulation. The final result reports
+// whether the attempt's failure was injected (an injected fault
+// replaces execution entirely, like a call failing in the kernel's
+// entry path, so a failed attempt leaves no partial state behind).
+func (rs *replayState) execute(t *sim.Thread, idx, attempt int) (int64, vfs.Errno, bool, bool) {
 	act := &rs.b.Analysis.Actions[idx]
+	if rs.inj != nil {
+		if e, ok := rs.inj.SyscallFault(idx, attempt, act.Rec.Call, act.Rec.Path); ok {
+			return -1, e, false, true
+		}
+	}
 	rec := *act.Rec // shallow copy we may rewrite
 
 	// Canonical, prefixed paths.
@@ -681,7 +891,7 @@ func (rs *replayState) execute(t *sim.Thread, idx int) (int64, vfs.Errno, bool) 
 			rs.aioMap[act.Touches[plan.aioCreate].Res] = ret
 		}
 	}
-	return ret, errno, emulated
+	return ret, errno, emulated, false
 }
 
 // prefixPath joins the replay prefix with a canonical absolute path.

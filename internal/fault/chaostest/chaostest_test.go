@@ -1,0 +1,122 @@
+package chaostest
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"rootreplay/internal/artc"
+	"rootreplay/internal/core"
+	"rootreplay/internal/fault"
+	"rootreplay/internal/magritte"
+)
+
+// compileSmall compiles a small Magritte benchmark shared by the tests.
+func compileSmall(t *testing.T) *artc.Benchmark {
+	t.Helper()
+	spec, ok := magritte.SpecByName("pages_docphoto15")
+	if !ok {
+		t.Fatal("unknown spec")
+	}
+	gen, err := magritte.Generate(spec, magritte.GenOptions{Scale: 0.005, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := artc.Compile(gen.Trace, gen.Snapshot, core.DefaultModes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func chaosPlan() fault.Plan {
+	return fault.Plan{
+		Syscall: fault.SyscallPlan{Rate: 0.02},
+		Storage: fault.StoragePlan{ErrorRate: 0.02, SlowRate: 0.02},
+		Retry:   fault.RetryPlan{MaxAttempts: 4},
+	}
+}
+
+// A seed sweep over a real corpus trace must uphold every invariant,
+// and the rates above must actually inject somewhere in the sweep.
+func TestSweepInvariantsHold(t *testing.T) {
+	opts := Options{
+		Bench:  compileSmall(t),
+		Target: magritte.DefaultSuiteOptions().Target,
+		Plan:   chaosPlan(),
+		Verify: true,
+		Obs:    true,
+	}
+	results := Sweep(opts, Seeds(1, 4))
+	injected := false
+	for i := range results {
+		if !results[i].OK() {
+			t.Fatalf("%s:\n%s", results[i].String(),
+				strings.Join(results[i].Violations, "\n"))
+		}
+		if s := results[i].Stats; s.SyscallInjected > 0 || s.StorageErrors > 0 || s.StorageSlow > 0 {
+			injected = true
+		}
+	}
+	if !injected {
+		t.Fatal("a 4-seed sweep at 2% rates injected nothing")
+	}
+}
+
+// The export must be byte-identical across two independent runs of the
+// same seed, and must parse as one JSON document.
+func TestExportBitReproducible(t *testing.T) {
+	opts := Options{
+		Bench:  compileSmall(t),
+		Target: magritte.DefaultSuiteOptions().Target,
+		Plan:   chaosPlan(),
+		Obs:    true,
+	}
+	var a, b bytes.Buffer
+	resA, recA := RunSeed(opts, 3)
+	if err := WriteExport(&a, &resA, recA); err != nil {
+		t.Fatal(err)
+	}
+	resB, recB := RunSeed(opts, 3)
+	if err := WriteExport(&b, &resB, recB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("exports differ across identical runs (%d vs %d bytes)", a.Len(), b.Len())
+	}
+	var doc struct {
+		Seed   uint64      `json:"seed"`
+		Errors int         `json:"errors"`
+		Stats  fault.Stats `json:"stats"`
+		Chrome struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		} `json:"chrome"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.Seed != 3 || len(doc.Chrome.TraceEvents) == 0 {
+		t.Fatalf("export lost content: seed=%d, %d trace events", doc.Seed, len(doc.Chrome.TraceEvents))
+	}
+}
+
+// An impossible watchdog window forces a stall, which must surface as a
+// violation — proving invariant failures actually propagate.
+func TestViolationsPropagate(t *testing.T) {
+	plan := chaosPlan()
+	plan.Watchdog = time.Nanosecond
+	opts := Options{
+		Bench:  compileSmall(t),
+		Target: magritte.DefaultSuiteOptions().Target,
+		Plan:   plan,
+	}
+	res, _ := RunSeed(opts, 1)
+	if res.OK() {
+		t.Fatal("a 1ns watchdog cannot be satisfied, yet no violation was reported")
+	}
+	if !strings.Contains(res.Violations[0], "stalled (watchdog)") {
+		t.Fatalf("violation = %q, want the stall report", res.Violations[0])
+	}
+}

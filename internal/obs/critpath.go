@@ -137,6 +137,13 @@ func Critical(g *core.Graph, recs []*trace.Record, issue, done []time.Duration) 
 		cp.InCall += h.Done - h.Issue
 		cp.Slack += h.Slack
 		cur = h.From
+		if len(hops) > n {
+			// A well-formed replay's binding constraints always point
+			// backward, but stall reports walk partially-executed (and
+			// possibly hand-built cyclic) graphs; cap the walk so a
+			// malformed chain cannot loop.
+			break
+		}
 	}
 	// Reverse into chronological order.
 	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"rootreplay/internal/cache"
+	"rootreplay/internal/fault"
 	"rootreplay/internal/sched"
 	"rootreplay/internal/sim"
 	"rootreplay/internal/storage"
@@ -66,6 +67,13 @@ type Config struct {
 	// scattered small extents. Sequential reads on an aged layout cost
 	// seeks, as on a real aged disk.
 	Aging float64
+	// Faults, when non-nil, injects storage faults per the injector's
+	// plan: each leaf device (RAID members individually) is wrapped so
+	// transient errors and tail-latency spikes hit at completion time,
+	// below the I/O scheduler. The injector is bound to this machine's
+	// kernel; do not share one across concurrently running kernels. Nil
+	// leaves the devices untouched (zero overhead).
+	Faults *fault.Injector
 }
 
 // DefaultConfig returns a Linux/ext4/HDD/CFQ machine with a 1 GiB cache.
@@ -195,16 +203,24 @@ const (
 // New builds a System from a Config on a fresh kernel-bound device
 // chain.
 func New(k *sim.Kernel, conf Config) *System {
+	// leaf applies the fault plan to a leaf device (identity when no
+	// injector is configured), so RAID members get per-device rates.
+	leaf := func(d storage.Device) storage.Device {
+		if conf.Faults == nil {
+			return d
+		}
+		return conf.Faults.WrapDevice(k, d)
+	}
 	var dev storage.Device
 	switch conf.Device {
 	case DeviceSSD:
-		dev = storage.NewSSD(k, conf.Name+"/ssd", storage.DefaultSSD())
+		dev = leaf(storage.NewSSD(k, conf.Name+"/ssd", storage.DefaultSSD()))
 	case DeviceRAID:
-		m0 := storage.NewHDD(k, conf.Name+"/hdd0", storage.DefaultHDD())
-		m1 := storage.NewHDD(k, conf.Name+"/hdd1", storage.DefaultHDD())
+		m0 := leaf(storage.NewHDD(k, conf.Name+"/hdd0", storage.DefaultHDD()))
+		m1 := leaf(storage.NewHDD(k, conf.Name+"/hdd1", storage.DefaultHDD()))
 		dev = storage.NewRAID0(conf.Name+"/raid0", 128, m0, m1)
 	default:
-		dev = storage.NewHDD(k, conf.Name+"/hdd", storage.DefaultHDD())
+		dev = leaf(storage.NewHDD(k, conf.Name+"/hdd", storage.DefaultHDD()))
 	}
 	var s sched.Scheduler
 	switch conf.Scheduler {

@@ -1,46 +1,108 @@
 #!/bin/sh
-# CI gate: vet, race-enabled tests, a one-shot pass over the Compile
-# benchmark, an export-determinism check under forced parallelism, then
-# a perfstat snapshot so the perf trajectory is tracked per PR
-# (BENCH_<tag>.json).
+# CI gate, runnable whole or as one lane per CI job:
+#
+#   scripts/ci.sh [lane] [tag] [prev]
+#
+#   lane  one of vet-race | determinism | ingest | chaos | fuzz | bench
+#         or "all" (the default). For backward compatibility a first
+#         argument that looks like a tag (pr5, v2, ...) selects "all"
+#         with that tag.
+#   tag   perfstat snapshot tag; the bench lane writes BENCH_<tag>.json.
+#   prev  baseline BENCH_*.json for the benchcmp gate. When omitted, the
+#         newest BENCH_*.json other than the current tag's is used.
+#
+# Lanes: vet-race (go vet + race-enabled tests), determinism
+# (byte-identical trace export under forced parallelism), ingest
+# (sequential and sharded strace parses agree), chaos (seeded fault
+# sweep with per-seed verification plus a single-seed bit-repro check),
+# fuzz (a short strace-lexer fuzz smoke), bench (perfstat snapshot and
+# the benchcmp regression gate).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-tag="${1:-pr4}"
+lane="${1:-all}"
+tag="${2:-pr5}"
+prev="${3:-}"
+case "$lane" in
+  vet-race|determinism|ingest|chaos|fuzz|bench|all) ;;
+  *) tag="$lane"; lane="all" ;;
+esac
 
-echo "== go vet"
-go vet ./...
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT INT TERM
 
-echo "== go test -race (GOMAXPROCS=8 stresses the kernel handoff paths)"
-GOMAXPROCS=8 go test -race ./...
+# Newest BENCH_*.json other than the current tag's, by version order, so
+# the gate always compares against the latest landed snapshot.
+latest_bench() {
+  ls BENCH_*.json 2>/dev/null | grep -v "^BENCH_${tag}\.json\$" | sort -V | tail -n 1
+}
 
-echo "== go test -bench=Compile -benchtime=1x"
-go test -run '^$' -bench 'Compile' -benchtime 1x -benchmem .
+vet_race() {
+  echo "== go vet"
+  go vet ./...
+  echo "== go test -race (GOMAXPROCS=8 stresses the kernel handoff paths)"
+  GOMAXPROCS=8 go test -race ./...
+}
 
-echo "== determinism: byte-identical trace export under GOMAXPROCS=8"
-GOMAXPROCS=8 go test -count=1 -run 'Deterministic' ./internal/experiments/
-go build -o /tmp/artc-ci ./cmd/artc
-GOMAXPROCS=8 /tmp/artc-ci trace -magritte pages_docphoto15 -quiet -o /tmp/ci-trace-1.json
-GOMAXPROCS=8 /tmp/artc-ci trace -magritte pages_docphoto15 -quiet -o /tmp/ci-trace-2.json
-cmp /tmp/ci-trace-1.json /tmp/ci-trace-2.json
-rm -f /tmp/artc-ci /tmp/ci-trace-1.json /tmp/ci-trace-2.json
+determinism() {
+  echo "== determinism: byte-identical trace export under GOMAXPROCS=8"
+  GOMAXPROCS=8 go test -count=1 -run 'Deterministic' ./internal/experiments/
+  go build -o "$tmp/artc" ./cmd/artc
+  GOMAXPROCS=8 "$tmp/artc" trace -magritte pages_docphoto15 -quiet -o "$tmp/trace-1.json"
+  GOMAXPROCS=8 "$tmp/artc" trace -magritte pages_docphoto15 -quiet -o "$tmp/trace-2.json"
+  cmp "$tmp/trace-1.json" "$tmp/trace-2.json"
+}
 
-echo "== ingest: sequential and sharded strace parses agree byte for byte"
-go build -o /tmp/artc-ci ./cmd/artc
-go build -o /tmp/tracegen-ci ./cmd/tracegen
-/tmp/tracegen-ci -format strace -threads 8 -ops 2500 -seed 42 -o /tmp/ci-ingest.strace -snapshot /tmp/ci-ingest.snap
-/tmp/artc-ci convert -trace /tmp/ci-ingest.strace -format strace -to native -o /tmp/ci-ingest-seq.trace
-GOMAXPROCS=8 /tmp/artc-ci convert -trace /tmp/ci-ingest.strace -format strace -shards 8 -to native -o /tmp/ci-ingest-shard.trace
-cmp /tmp/ci-ingest-seq.trace /tmp/ci-ingest-shard.trace
-GOMAXPROCS=8 go test -race -count=1 -run 'StraceGolden|ParseStraceAllocRegression|MergeShares|ShardedShares' ./internal/trace/
-rm -f /tmp/artc-ci /tmp/tracegen-ci /tmp/ci-ingest.strace /tmp/ci-ingest.snap /tmp/ci-ingest-seq.trace /tmp/ci-ingest-shard.trace
+ingest() {
+  echo "== ingest: sequential and sharded strace parses agree byte for byte"
+  go build -o "$tmp/artc" ./cmd/artc
+  go build -o "$tmp/tracegen" ./cmd/tracegen
+  "$tmp/tracegen" -format strace -threads 8 -ops 2500 -seed 42 \
+    -o "$tmp/ingest.strace" -snapshot "$tmp/ingest.snap"
+  "$tmp/artc" convert -trace "$tmp/ingest.strace" -format strace -to native -o "$tmp/ingest-seq.trace"
+  GOMAXPROCS=8 "$tmp/artc" convert -trace "$tmp/ingest.strace" -format strace -shards 8 \
+    -to native -o "$tmp/ingest-shard.trace"
+  cmp "$tmp/ingest-seq.trace" "$tmp/ingest-shard.trace"
+  GOMAXPROCS=8 go test -race -count=1 \
+    -run 'StraceGolden|ParseStraceAllocRegression|MergeShares|ShardedShares' ./internal/trace/
+}
 
-echo "== perfstat -> BENCH_${tag}.json"
-go run ./cmd/perfstat -o "BENCH_${tag}.json"
+chaos() {
+  go build -o "$tmp/artc" ./cmd/artc
+  echo "== chaos: 16-seed fault sweep with per-seed double-run verification"
+  GOMAXPROCS=8 "$tmp/artc" chaos -magritte pages_docphoto15 -gen-scale 0.01 -seeds 16 -verify
+  echo "== chaos: seed 3 export is bit-reproducible"
+  "$tmp/artc" chaos -magritte pages_docphoto15 -gen-scale 0.01 -seed 3 -quiet -o "$tmp/chaos-a.json"
+  "$tmp/artc" chaos -magritte pages_docphoto15 -gen-scale 0.01 -seed 3 -quiet -o "$tmp/chaos-b.json"
+  cmp "$tmp/chaos-a.json" "$tmp/chaos-b.json"
+}
 
-prev="BENCH_pr3.json"
-if [ -f "$prev" ] && [ "$prev" != "BENCH_${tag}.json" ]; then
-  echo "== benchcmp $prev vs BENCH_${tag}.json"
-  go run ./cmd/benchcmp "$prev" "BENCH_${tag}.json"
-fi
+fuzz() {
+  echo "== fuzz: 20s strace fast-lexer vs reference smoke"
+  go test -run '^$' -fuzz 'FuzzStraceFastVsReference' -fuzztime 20s ./internal/trace/
+}
+
+bench() {
+  echo "== go test -bench=Compile -benchtime=1x"
+  go test -run '^$' -bench 'Compile' -benchtime 1x -benchmem .
+  echo "== perfstat -> BENCH_${tag}.json"
+  go run ./cmd/perfstat -o "BENCH_${tag}.json"
+  base="${prev:-$(latest_bench)}"
+  if [ -n "$base" ] && [ -f "$base" ]; then
+    echo "== benchcmp gate: $base vs BENCH_${tag}.json"
+    go run ./cmd/benchcmp -gate "$base" "BENCH_${tag}.json"
+  else
+    echo "== benchcmp gate skipped: no baseline BENCH_*.json"
+  fi
+}
+
+case "$lane" in
+  vet-race)    vet_race ;;
+  determinism) determinism ;;
+  ingest)      ingest ;;
+  chaos)       chaos ;;
+  fuzz)        fuzz ;;
+  bench)       bench ;;
+  all)         vet_race; determinism; ingest; chaos; fuzz; bench ;;
+esac
