@@ -1,5 +1,5 @@
 GO ?= go
-TAG ?= pr5
+TAG ?= pr6
 
 .PHONY: build test race vet bench perfstat profile chaos fuzz ci
 

@@ -262,6 +262,7 @@ func replayCmd(args []string) error {
 	slice := fs.Duration("slice", 0, "CFQ slice_sync (0 = 100ms default)")
 	fullFsync := fs.Bool("osx-full-fsync", false, "use F_FULLFSYNC when emulating Linux fsync on OS X")
 	timeline := fs.Bool("timeline", false, "print a per-thread replay timeline (Figure 9 style)")
+	shards := fs.Int("shards", 0, "replay components in parallel with this worker bound (0 = serial replayer; -1 = GOMAXPROCS)")
 	fs.Parse(args)
 	if *benchPath == "" {
 		return fmt.Errorf("-bench is required")
@@ -292,14 +293,33 @@ func replayCmd(args []string) error {
 		return fmt.Errorf("unknown speed %q", *speed)
 	}
 
-	k := sim.NewKernel()
-	sys := stack.New(k, conf)
-	if err := artc.Init(sys, b, ""); err != nil {
-		return err
-	}
-	rep, err := artc.Replay(sys, b, opts)
-	if err != nil {
-		return err
+	var rep *artc.Report
+	if *shards != 0 {
+		n := *shards
+		if n < 0 {
+			n = 0 // ReplaySharded resolves 0 to GOMAXPROCS
+		}
+		var st *artc.ShardStats
+		rep, st, err = artc.ReplaySharded(b, opts, artc.ShardOptions{
+			Shards: n,
+			Target: conf,
+			Init:   func(sys *stack.System) error { return artc.Init(sys, b, "") },
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sharded: components=%d clusters=%d cross-edges=%d largest=%d workers=%d\n",
+			st.Components, st.Clusters, st.CrossEdges, st.Largest, st.Shards)
+	} else {
+		k := sim.NewKernel()
+		sys := stack.New(k, conf)
+		if err := artc.Init(sys, b, ""); err != nil {
+			return err
+		}
+		rep, err = artc.Replay(sys, b, opts)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("replayed %d actions on %s in %v (virtual)\n", rep.Actions, conf.Name, rep.Elapsed)
 	fmt.Printf("method=%s errors=%d emulated=%d concurrency=%.2f\n",
@@ -337,6 +357,7 @@ func traceCmd(args []string) error {
 	spanCap := fs.Int("span-cap", 0, "span ring capacity (0 = default)")
 	critHops := fs.Int("crit-hops", 20, "critical-path rows to print (0 = all)")
 	quiet := fs.Bool("quiet", false, "suppress the text summary and critical path on stderr")
+	shards := fs.Int("shards", 0, "replay components in parallel with this worker bound (0 = serial replayer; -1 = GOMAXPROCS)")
 	fs.Parse(args)
 
 	var b *artc.Benchmark
@@ -378,14 +399,31 @@ func traceCmd(args []string) error {
 		Obs:         rec,
 		ObsInterval: *interval,
 	}
-	k := sim.NewKernel()
-	sys := stack.New(k, conf)
-	if err := magritte.InitTarget(sys, b, conf.Platform == stack.Linux); err != nil {
-		return err
-	}
-	rep, err := artc.Replay(sys, b, opts)
-	if err != nil {
-		return err
+	var rep *artc.Report
+	if *shards != 0 {
+		n := *shards
+		if n < 0 {
+			n = 0
+		}
+		rep, _, err = artc.ReplaySharded(b, opts, artc.ShardOptions{
+			Shards: n,
+			Target: conf,
+			Init: func(sys *stack.System) error {
+				return magritte.InitTarget(sys, b, conf.Platform == stack.Linux)
+			},
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		k := sim.NewKernel()
+		sys := stack.New(k, conf)
+		if err := magritte.InitTarget(sys, b, conf.Platform == stack.Linux); err != nil {
+			return err
+		}
+		if rep, err = artc.Replay(sys, b, opts); err != nil {
+			return err
+		}
 	}
 
 	w := os.Stdout
@@ -461,6 +499,7 @@ func chaosCmd(args []string) error {
 	verify := fs.Bool("verify", false, "replay each seed twice and demand identical results")
 	out := fs.String("o", "", "write the first seed's export JSON (implies span recording)")
 	quiet := fs.Bool("quiet", false, "suppress per-seed summaries")
+	shards := fs.Int("shards", 0, "replay components in parallel with this worker bound (0 = serial replayer)")
 	fs.Parse(args)
 
 	if *spec == "" {
@@ -493,6 +532,7 @@ func chaosCmd(args []string) error {
 		},
 		Verify: *verify,
 		Obs:    *out != "",
+		Shards: *shards,
 	}
 
 	var results []*chaostest.Result

@@ -27,6 +27,8 @@ import (
 // (throughputs).
 var gatedMetrics = map[string]bool{
 	"replay_ns":                        true,
+	"replay_sharded_ns":                true,
+	"components_replay_ns":             true,
 	"obs_replay_ns":                    true,
 	"compile_ns_per_op":                true,
 	"parse_allocs_per_record":          true,
@@ -71,13 +73,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Walk the union of numeric fields: shared ones get a delta,
+	// one-sided ones are flagged rather than dropped.
 	var keys []string
-	for k, ov := range oldM {
-		if _, isNum := ov.(float64); !isNum {
-			continue
-		}
-		if _, ok := newM[k].(float64); ok {
-			keys = append(keys, k)
+	seen := map[string]bool{}
+	for _, m := range []map[string]interface{}{oldM, newM} {
+		for k, v := range m {
+			if _, isNum := v.(float64); isNum && !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
 		}
 	}
 	sort.Strings(keys)
@@ -90,8 +95,16 @@ func main() {
 	}
 	fmt.Printf("%-*s  %14s  %14s  %8s\n", width, "metric", "old", "new", "delta")
 	for _, k := range keys {
-		ov := oldM[k].(float64)
-		nv := newM[k].(float64)
+		ov, inOld := oldM[k].(float64)
+		nv, inNew := newM[k].(float64)
+		switch {
+		case !inOld:
+			fmt.Printf("%-*s  %14s  %14s  %8s\n", width, k, "-", formatNum(nv), "new")
+			continue
+		case !inNew:
+			fmt.Printf("%-*s  %14s  %14s  %8s\n", width, k, formatNum(ov), "-", "gone")
+			continue
+		}
 		delta := "~"
 		if ov != 0 {
 			pct := (nv - ov) / ov * 100
@@ -117,8 +130,14 @@ func main() {
 		if !gated {
 			continue
 		}
-		ov := oldM[k].(float64)
-		nv := newM[k].(float64)
+		// One-sided metrics can't regress: a field the old record lacks
+		// (like replay_sharded_ns on its first appearance) has no
+		// baseline, and a dropped field has nothing to measure.
+		ov, inOld := oldM[k].(float64)
+		nv, inNew := newM[k].(float64)
+		if !inOld || !inNew {
+			continue
+		}
 		if ov <= 0 {
 			continue // nothing to compare against (e.g. zero allocs)
 		}
@@ -141,14 +160,20 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("gate: %d metric(s) within %.0f%% of %s\n", countGated(keys), *threshold*100, flag.Arg(0))
+	fmt.Printf("gate: %d metric(s) within %.0f%% of %s\n", countGated(keys, oldM, newM), *threshold*100, flag.Arg(0))
 }
 
-// countGated reports how many of the shared keys the gate examined.
-func countGated(keys []string) int {
+// countGated reports how many keys the gate examined: gated metrics
+// present in both records.
+func countGated(keys []string, oldM, newM map[string]interface{}) int {
 	n := 0
 	for _, k := range keys {
-		if _, ok := gatedMetrics[k]; ok {
+		if _, ok := gatedMetrics[k]; !ok {
+			continue
+		}
+		_, inOld := oldM[k].(float64)
+		_, inNew := newM[k].(float64)
+		if inOld && inNew {
 			n++
 		}
 	}

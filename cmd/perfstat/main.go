@@ -24,6 +24,7 @@ import (
 	"rootreplay/internal/sim/simbench"
 	"rootreplay/internal/stack"
 	"rootreplay/internal/trace"
+	"rootreplay/internal/workload"
 )
 
 // Stats is the serialized measurement.
@@ -50,6 +51,15 @@ type Stats struct {
 	TemporalEdges int `json:"temporal_edges"`
 	// Replay wall time (host) for one ARTC replay of the benchmark.
 	ReplayNs int64 `json:"replay_ns"`
+	// Sharded replay over the components scale corpus (tracegen -family
+	// components): serial vs component-partitioned wall time on the same
+	// benchmark, the partition's shape, and the resulting speedup.
+	ComponentsRecords  int     `json:"components_records"`
+	ComponentsReplayNs int64   `json:"components_replay_ns"`
+	ReplayShardedNs    int64   `json:"replay_sharded_ns"`
+	ShardCount         int     `json:"shard_count"`
+	CrossEdges         int     `json:"cross_edges"`
+	ShardSpeedup       float64 `json:"shard_speedup"`
 	// Observability: wall time of an obs-instrumented replay (the delta
 	// against ReplayNs is the recorder's enabled-path overhead), recorded
 	// volumes, and the replay's critical path.
@@ -72,6 +82,59 @@ type Stats struct {
 	NumCPU    int    `json:"num_cpu"`
 }
 
+// measureComponents times the serial and sharded replayers over the
+// components scale corpus (the shape sharding parallelizes perfectly)
+// and records the partition's structure.
+func measureComponents(st *Stats, n, ops int, skew float64, procs int) {
+	// Pin the host proc count for the serial/sharded pair so the
+	// comparison is reproducible across hosts (and measured last, so the
+	// pin can't disturb the single-proc legacy metrics above).
+	if procs > 0 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	}
+	tr, snap, err := workload.SynthComponents(workload.Components{N: n, Ops: ops, Skew: skew, Seed: 7})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat: components:", err)
+		os.Exit(1)
+	}
+	b, err := artc.Compile(tr, snap, core.DefaultModes())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat: components compile:", err)
+		os.Exit(1)
+	}
+	st.ComponentsRecords = len(tr.Records)
+	target := magritte.DefaultSuiteOptions().Target
+
+	t0 := time.Now()
+	k := sim.NewKernel()
+	sys := stack.New(k, target)
+	if err := artc.Init(sys, b, ""); err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat: components init:", err)
+		os.Exit(1)
+	}
+	if _, err := artc.Replay(sys, b, artc.Options{}); err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat: components replay:", err)
+		os.Exit(1)
+	}
+	st.ComponentsReplayNs = time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	_, shst, err := artc.ReplaySharded(b, artc.Options{}, artc.ShardOptions{
+		Target: target,
+		Init:   func(sys *stack.System) error { return artc.Init(sys, b, "") },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat: components sharded replay:", err)
+		os.Exit(1)
+	}
+	st.ReplayShardedNs = time.Since(t0).Nanoseconds()
+	st.ShardCount = shst.Components
+	st.CrossEdges = shst.CrossEdges
+	if st.ReplayShardedNs > 0 {
+		st.ShardSpeedup = float64(st.ComponentsReplayNs) / float64(st.ReplayShardedNs)
+	}
+}
+
 // microbench runs fn through the testing harness and returns ns/op and
 // allocs/op.
 func microbench(fn func(b *testing.B)) (nsPerOp, allocsPerOp float64) {
@@ -87,6 +150,10 @@ func main() {
 	name := flag.String("trace", "pages_docphoto15", "magritte trace name")
 	scale := flag.Float64("scale", 0.02, "magritte generation scale")
 	iters := flag.Int("iters", 5, "compile iterations to average")
+	compOps := flag.Int("components-ops", 3300000, "components corpus op budget (~3.1 records each; 0 skips the sharded-replay measurement)")
+	compN := flag.Int("components", 64, "components corpus group count")
+	compSkew := flag.Float64("components-skew", 0.5, "components corpus size skew")
+	compProcs := flag.Int("components-procs", 8, "GOMAXPROCS pinned for the components serial/sharded comparison (0 inherits)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
@@ -263,6 +330,10 @@ func main() {
 	st.KernelPingPongNsPerOp, _ = microbench(simbench.PingPong)
 	st.KernelCompletionNsPerOp, _ = microbench(simbench.CompletionStorm)
 
+	if *compOps > 0 {
+		measureComponents(&st, *compN, *compOps, *compSkew, *compProcs)
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "perfstat:", err)
@@ -287,6 +358,11 @@ func main() {
 	fmt.Printf("perfstat: obs replay %.2f ms (plain %.2f ms), %d spans, %d samples, critical path %d hops (in-call %v, slack %v)\n",
 		float64(st.ObsReplayNs)/1e6, float64(st.ReplayNs)/1e6, st.ObsSpans, st.ObsSamples,
 		st.CritPathHops, cp.InCall, cp.Slack)
+	if st.ComponentsRecords > 0 {
+		fmt.Printf("perfstat: components corpus %d records / %d shards (%d cross edges): serial %.0f ms, sharded %.0f ms (%.2fx)\n",
+			st.ComponentsRecords, st.ShardCount, st.CrossEdges,
+			float64(st.ComponentsReplayNs)/1e6, float64(st.ReplayShardedNs)/1e6, st.ShardSpeedup)
+	}
 	fmt.Printf("perfstat: kernel timer churn %.1f ns/op (%.0f allocs/op), sleep %.1f ns/op, ping-pong %.1f ns/op, completion %.1f ns/op\n",
 		st.KernelTimerChurnNsPerOp, st.KernelTimerChurnAllocsPerOp,
 		st.KernelSleepChurnNsPerOp, st.KernelPingPongNsPerOp, st.KernelCompletionNsPerOp)

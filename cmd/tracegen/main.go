@@ -5,9 +5,13 @@
 //	tracegen -workload randomreaders -threads 8 -o rr.trace -snapshot rr.snap
 //	tracegen -workload readrandom -source linux-ext4-hdd -o db.trace -snapshot db.snap
 //	tracegen -workload magritte:iphoto_edit400 -scale 0.01 -o iphoto.trace -snapshot iphoto.snap
+//	tracegen -family components -components 64 -ops 100000 -skew 1.0 -o comp.trace -snapshot comp.snap
 //
 // Workloads: randomreaders, cachereaders, seqcompetitors, fillsync,
-// readrandom, magritte:<name>.
+// readrandom, magritte:<name>. The -family flag selects a direct
+// synthesizer instead: "components" emits the sharded-replay scale
+// corpus (mutually independent per-thread groups, -ops total
+// operations split across -components groups by -skew).
 package main
 
 import (
@@ -34,23 +38,41 @@ func main() {
 	records := flag.Int("records", 20000, "database records for readrandom")
 	scale := flag.Float64("scale", 0.01, "magritte trace scale")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
+	family := flag.String("family", "", `synthetic family ("components"); overrides -workload`)
+	comps := flag.Int("components", 16, "independent groups for -family components")
+	skew := flag.Float64("skew", 0, "component size skew for -family components (weight (c+1)^-skew)")
 	out := flag.String("o", "out.trace", "output trace file")
 	snapOut := flag.String("snapshot", "out.snap", "output snapshot file")
 	format := flag.String("format", "native", "trace output format: native or strace")
 	flag.Parse()
 
-	if err := run(*wl, *source, *threads, *ops, *fileMB, *records, *scale, *seed, *out, *snapOut, *format); err != nil {
+	if *family != "" {
+		*wl = "family:" + *family
+	}
+	if err := run(*wl, *source, *threads, *ops, *fileMB, *records, *scale, *seed, *comps, *skew, *out, *snapOut, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, source string, threads, ops int, fileMB int64, records int, scale float64, seed int64, out, snapOut, format string) error {
+func run(wl, source string, threads, ops int, fileMB int64, records int, scale float64, seed int64, comps int, skew float64, out, snapOut, format string) error {
 	var tr *trace.Trace
 	var snap *snapshot.Snapshot
 	var elapsed time.Duration
 
-	if name, ok := strings.CutPrefix(wl, "magritte:"); ok {
+	if name, ok := strings.CutPrefix(wl, "family:"); ok {
+		if name != "components" {
+			return fmt.Errorf("unknown family %q", name)
+		}
+		var err error
+		tr, snap, err = workload.SynthComponents(workload.Components{
+			N: comps, Ops: ops, Skew: skew, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		elapsed = tr.Duration()
+	} else if name, ok := strings.CutPrefix(wl, "magritte:"); ok {
 		spec, found := magritte.SpecByName(name)
 		if !found {
 			return fmt.Errorf("unknown magritte trace %q", name)

@@ -266,7 +266,29 @@ type replayState struct {
 	watchdog     *sim.Timer
 	stall        *StallReport
 
+	// sub is set when this state replays one component of a sharded
+	// replay (see sharded.go); nil for a whole-benchmark replay. All
+	// shard-specific work hides behind this one pointer check.
+	sub *subState
+
+	// sampleAt records, parallel to rep.ErrorSamples, each sample's
+	// completion time — the sharded merge key. Only filled when sub is
+	// set; the serial path leaves it nil.
+	sampleAt []time.Duration
+
 	rep *Report
+}
+
+// gi maps a state-local action index to its trace-global index. For a
+// whole-benchmark replay they are the same; for a shard member the
+// component's actions are renumbered densely and gi translates back for
+// everything user-visible (reports, spans, samples, stall reasons,
+// fault-injection keys).
+func (rs *replayState) gi(idx int) int {
+	if rs.sub != nil {
+		return int(rs.sub.global[idx])
+	}
+	return idx
 }
 
 // Action lifecycle bits in replayState.status.
@@ -332,28 +354,47 @@ func ReplayConcurrent(sys *stack.System, items []ConcurrentItem) ([]*Report, err
 	return reports, nil
 }
 
+// methodGraph resolves the replay method's dependency graph, defaulting
+// the method in opts.
+func methodGraph(b *Benchmark, opts *Options) (*core.Graph, error) {
+	switch opts.Method {
+	case MethodARTC, "":
+		opts.Method = MethodARTC
+		g := b.Graph
+		if opts.Modes != nil {
+			g = b.GraphFor(*opts.Modes)
+		}
+		return g, nil
+	case MethodTemporal:
+		return core.TemporalGraph(b.Analysis), nil
+	case MethodSingle, MethodUnconstrained:
+		return core.UnconstrainedGraph(b.Analysis), nil
+	default:
+		return nil, fmt.Errorf("artc: unknown replay method %q", opts.Method)
+	}
+}
+
 // start validates options, builds the method's graph, and spawns the
 // replay threads; the caller runs the kernel and then calls finish.
 func start(sys *stack.System, b *Benchmark, opts Options) (*replayState, error) {
 	if opts.MaxErrorSamples == 0 {
 		opts.MaxErrorSamples = 10
 	}
-	n := len(b.Trace.Records)
-	var g *core.Graph
-	switch opts.Method {
-	case MethodARTC, "":
-		opts.Method = MethodARTC
-		g = b.Graph
-		if opts.Modes != nil {
-			g = b.GraphFor(*opts.Modes)
-		}
-	case MethodTemporal:
-		g = core.TemporalGraph(b.Analysis)
-	case MethodSingle, MethodUnconstrained:
-		g = core.UnconstrainedGraph(b.Analysis)
-	default:
-		return nil, fmt.Errorf("artc: unknown replay method %q", opts.Method)
+	g, err := methodGraph(b, &opts)
+	if err != nil {
+		return nil, err
 	}
+	rs := newReplayState(sys, b, opts, g)
+	rs.spawnThreads()
+	return rs, nil
+}
+
+// newReplayState builds the replay bookkeeping for one benchmark on one
+// system: dependency counters, observability probes, and the fault
+// watchdog. opts must already have MaxErrorSamples normalized and the
+// method defaulted (see start).
+func newReplayState(sys *stack.System, b *Benchmark, opts Options, g *core.Graph) *replayState {
+	n := len(b.Trace.Records)
 	remaining := make([]int32, n)
 	for i, d := range g.Indegree {
 		remaining[i] = int32(d)
@@ -445,33 +486,38 @@ func start(sys *stack.System, b *Benchmark, opts Options) (*replayState, error) 
 			rs.watchdog.Reset(wd)
 		}
 	}
+	return rs
+}
 
-	if opts.Method == MethodSingle {
-		sys.K.Spawn("replay-single", func(t *sim.Thread) {
+// spawnThreads creates the replay threads: one per traced thread (in TID
+// order), or a single thread for MethodSingle.
+func (rs *replayState) spawnThreads() {
+	n := len(rs.b.Trace.Records)
+	if rs.opts.Method == MethodSingle {
+		rs.sys.K.Spawn("replay-single", func(t *sim.Thread) {
 			for i := 0; i < n; i++ {
 				rs.playAction(t, i)
 			}
 		})
-	} else {
-		byThread := make(map[int][]int)
-		var order []int
-		for i, rec := range b.Trace.Records {
-			if _, ok := byThread[rec.TID]; !ok {
-				order = append(order, rec.TID)
-			}
-			byThread[rec.TID] = append(byThread[rec.TID], i)
-		}
-		sort.Ints(order)
-		for _, tid := range order {
-			actions := byThread[tid]
-			sys.K.Spawn(fmt.Sprintf("replay-T%d", tid), func(t *sim.Thread) {
-				for _, idx := range actions {
-					rs.playAction(t, idx)
-				}
-			})
-		}
+		return
 	}
-	return rs, nil
+	byThread := make(map[int][]int)
+	var order []int
+	for i, rec := range rs.b.Trace.Records {
+		if _, ok := byThread[rec.TID]; !ok {
+			order = append(order, rec.TID)
+		}
+		byThread[rec.TID] = append(byThread[rec.TID], i)
+	}
+	sort.Ints(order)
+	for _, tid := range order {
+		actions := byThread[tid]
+		rs.sys.K.Spawn(fmt.Sprintf("replay-T%d", tid), func(t *sim.Thread) {
+			for _, idx := range actions {
+				rs.playAction(t, idx)
+			}
+		})
+	}
 }
 
 // buildStall assembles the structured stall report: every action that
@@ -493,10 +539,14 @@ func (rs *replayState) buildStall(trigger string) *StallReport {
 			continue
 		}
 		rec := rs.b.Trace.Records[i]
-		ba := BlockedAction{Action: i, TID: rec.TID, Call: rec.Call, Path: rec.Path}
+		ba := BlockedAction{Action: rs.gi(i), TID: rec.TID, Call: rec.Call, Path: rec.Path}
 		switch {
 		case rs.waiting[i] != nil:
 			ba.Reason = rs.waitReason(i)
+		case rs.sub != nil && rs.sub.crossWaitEdge[i] >= 0:
+			// Parked on a clock-exchange barrier: name the peer shard and
+			// edge rather than reporting a spurious local deadlock.
+			ba.Reason = rs.sub.crossReason(i)
 		case rs.status[i]&actIssued != 0:
 			ba.Reason = "in call"
 		default:
@@ -600,10 +650,10 @@ func (rs *replayState) waitReason(idx int) string {
 		}
 		if !sat {
 			return fmt.Sprintf("action %d: %d dep(s) left, e.g. on action %d (%s)",
-				idx, rs.remaining[idx], e.From, e.Res)
+				rs.gi(idx), rs.remaining[idx], rs.gi(e.From), e.Res)
 		}
 	}
-	return fmt.Sprintf("action %d: %d dep(s) left", idx, rs.remaining[idx])
+	return fmt.Sprintf("action %d: %d dep(s) left", rs.gi(idx), rs.remaining[idx])
 }
 
 // playAction waits for the action's dependency count to drain, applies
@@ -621,6 +671,9 @@ func (rs *replayState) playAction(t *sim.Thread, idx int) {
 		}
 		rs.waiting[idx] = nil
 	}
+	if rs.sub != nil {
+		rs.sub.waitCross(rs, t, idx)
+	}
 	var slept time.Duration
 	switch rs.opts.Speed {
 	case Natural:
@@ -637,6 +690,9 @@ func (rs *replayState) playAction(t *sim.Thread, idx int) {
 		if rs.g.Edges[ei].Kind == core.WaitIssue {
 			rs.depSatisfied(ei)
 		}
+	}
+	if rs.sub != nil {
+		rs.sub.publishCross(idx, core.WaitIssue, now)
 	}
 
 	ret, errno, emulated, injected := rs.execute(t, idx, 0)
@@ -667,6 +723,9 @@ func (rs *replayState) playAction(t *sim.Thread, idx int) {
 			rs.depSatisfied(ei)
 		}
 	}
+	if rs.sub != nil {
+		rs.sub.publishCross(idx, core.WaitComplete, end)
+	}
 
 	rec := rs.b.Trace.Records[idx]
 	d := end - now
@@ -679,7 +738,7 @@ func (rs *replayState) playAction(t *sim.Thread, idx int) {
 	}
 	if rs.obs != nil {
 		sp := obs.Span{
-			Action:     int32(idx),
+			Action:     int32(rs.gi(idx)),
 			TID:        int32(rec.TID),
 			Call:       rec.Call,
 			WaitStart:  waitStart,
@@ -688,7 +747,10 @@ func (rs *replayState) playAction(t *sim.Thread, idx int) {
 			Predelay:   slept,
 			ReleasedBy: -1,
 		}
-		if re := rs.releasedEdge[idx]; re >= 0 {
+		if rs.sub != nil {
+			sp.Shard = rs.sub.comp
+			rs.sub.fillReleasedBy(rs, idx, &sp)
+		} else if re := rs.releasedEdge[idx]; re >= 0 {
 			e := &rs.g.Edges[re]
 			sp.ReleasedBy = int32(e.From)
 			sp.ReleasedAt = rs.releasedAt[idx]
@@ -732,7 +794,10 @@ func (rs *replayState) compare(idx int, rec *trace.Record, ret int64, errno vfs.
 	rs.rep.Errors++
 	if len(rs.rep.ErrorSamples) < rs.opts.MaxErrorSamples {
 		rs.rep.ErrorSamples = append(rs.rep.ErrorSamples,
-			fmt.Sprintf("action %d [T%d] %s(%s): %s", idx, rec.TID, rec.Call, rec.Path, mismatch))
+			fmt.Sprintf("action %d [T%d] %s(%s): %s", rs.gi(idx), rec.TID, rec.Call, rec.Path, mismatch))
+		if rs.sub != nil {
+			rs.sampleAt = append(rs.sampleAt, rs.doneAt[idx])
+		}
 	}
 	return true
 }
@@ -841,7 +906,10 @@ func findAIOTouch(act *core.Action, create bool) int16 {
 func (rs *replayState) execute(t *sim.Thread, idx, attempt int) (int64, vfs.Errno, bool, bool) {
 	act := &rs.b.Analysis.Actions[idx]
 	if rs.inj != nil {
-		if e, ok := rs.inj.SyscallFault(idx, attempt, act.Rec.Call, act.Rec.Path); ok {
+		// Fault decisions key on the global action index so an injection
+		// plan selects the same actions whether the replay is sharded or
+		// serial.
+		if e, ok := rs.inj.SyscallFault(rs.gi(idx), attempt, act.Rec.Call, act.Rec.Path); ok {
 			return -1, e, false, true
 		}
 	}

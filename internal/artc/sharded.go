@@ -1,0 +1,912 @@
+package artc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rootreplay/internal/core"
+	"rootreplay/internal/fault"
+	"rootreplay/internal/obs"
+	"rootreplay/internal/par"
+	"rootreplay/internal/shard"
+	"rootreplay/internal/sim"
+	"rootreplay/internal/stack"
+	"rootreplay/internal/trace"
+)
+
+// ShardOptions configure a sharded replay. Unlike Replay, ReplaySharded
+// owns system construction: every component replays on its own
+// kernel/scheduler/storage replica, so the caller describes the target
+// once and the replayer instantiates it per component.
+type ShardOptions struct {
+	// Shards bounds the number of component clusters replayed
+	// concurrently (the host worker pool). Zero selects GOMAXPROCS. It
+	// does not affect replay output: partitioning is a property of the
+	// graph, and every component advances its own virtual clock
+	// regardless of how many host workers drive them.
+	Shards int
+	// Target is the system configuration each component replica is built
+	// from (Faults is overridden per replica; see Fault).
+	Target stack.Config
+	// Init initializes one component's replica system — typically
+	// artc.Init to restore the benchmark snapshot, plus any target
+	// warm-up. It runs once per component, so it must be safe to call
+	// concurrently against distinct systems.
+	Init func(sys *stack.System) error
+	// Fault, when non-nil, gives every component replica its own
+	// injector built from this plan, so chaos replay stays
+	// bit-reproducible: decision streams are keyed by global action
+	// index and per-replica device state, independent of shard count.
+	// Options.Fault must be nil for a sharded replay.
+	Fault *fault.Plan
+}
+
+// ShardStats summarizes the partition a sharded replay executed.
+type ShardStats struct {
+	// Components is the number of replica-isolated partitions; Clusters
+	// the number of independent work units after grouping components
+	// connected by cross edges.
+	Components int
+	Clusters   int
+	// CrossEdges counts dependency edges enforced by clock-exchange
+	// barriers rather than a shared kernel.
+	CrossEdges int
+	// Largest is the action count of the biggest component.
+	Largest int
+	// Shards is the resolved worker bound.
+	Shards int
+}
+
+// infDur is the coordinator's "no constraint" time.
+const infDur = time.Duration(math.MaxInt64)
+
+// subState is a replayState's view of its place in a sharded replay:
+// index translations back to the whole trace plus the cross-edge
+// barrier wiring.
+type subState struct {
+	comp   int32
+	member int // cluster-local index, meaningful when coord != nil
+	// global maps local action indices to trace indices; edgeGlobal maps
+	// local graph edges to full-graph edges.
+	global     []int32
+	edgeGlobal []int32
+	full       *core.Graph
+	plan       *shard.Plan
+	// crossIn/crossOut hold, per local action, the inbound/outbound
+	// cross-component edges (full-graph indices, ascending).
+	crossIn  [][]int32
+	crossOut [][]int32
+	// crossWaitEdge[i] is the cross edge action i is currently parked
+	// on, -1 otherwise (stall reports read it).
+	crossWaitEdge []int32
+	// crossRelAt/crossRelEdge track the latest-satisfied inbound cross
+	// edge per action — the cross candidate for a span's ReleasedBy
+	// (allocated only when observability is on).
+	crossRelAt   []time.Duration
+	crossRelEdge []int32
+	coord        *clusterCoord
+}
+
+// waitCross blocks action idx on its inbound cross-component edges, in
+// ascending full-graph edge order. Called after the local dependency
+// counter drains and before predelay, so the issue time is the fixed
+// point of local and cross constraints, exactly as under one kernel.
+func (s *subState) waitCross(rs *replayState, t *sim.Thread, idx int) {
+	ins := s.crossIn[idx]
+	if len(ins) == 0 {
+		return
+	}
+	k := rs.sys.K
+	for _, ge := range ins {
+		s.crossWaitEdge[idx] = ge
+		v := s.coord.await(t, k, s.member, ge, func() string { return s.crossReason(idx) })
+		if s.crossRelEdge != nil {
+			if best := s.crossRelEdge[idx]; best < 0 || v > s.crossRelAt[idx] {
+				s.crossRelAt[idx] = v
+				s.crossRelEdge[idx] = ge
+			}
+		}
+	}
+	s.crossWaitEdge[idx] = -1
+}
+
+// publishCross publishes action idx's outbound cross edges of the given
+// kind at virtual time at.
+func (s *subState) publishCross(idx int, kind core.EdgeKind, at time.Duration) {
+	for _, ge := range s.crossOut[idx] {
+		if s.full.Edges[ge].Kind == kind {
+			s.coord.publish(ge, at)
+		}
+	}
+}
+
+// fillReleasedBy picks the span's releasing edge among the local
+// released edge and the satisfied cross edges: latest satisfaction
+// time, ties to the higher full-graph edge index. With no cross edges
+// (every single-component replay) this reduces to the serial rule.
+func (s *subState) fillReleasedBy(rs *replayState, idx int, sp *obs.Span) {
+	bestEdge := int32(-1)
+	var bestAt time.Duration
+	if re := rs.releasedEdge[idx]; re >= 0 {
+		bestEdge = s.edgeGlobal[re]
+		bestAt = rs.releasedAt[idx]
+	}
+	if s.crossRelEdge != nil {
+		if ce := s.crossRelEdge[idx]; ce >= 0 {
+			if at := s.crossRelAt[idx]; bestEdge < 0 || at > bestAt || (at == bestAt && ce > bestEdge) {
+				bestEdge, bestAt = ce, at
+			}
+		}
+	}
+	if bestEdge < 0 {
+		return
+	}
+	e := &s.full.Edges[bestEdge]
+	sp.ReleasedBy = int32(e.From)
+	sp.ReleasedAt = bestAt
+	if e.Res != (core.ResourceID{}) {
+		sp.ReleaseRes = e.Res.String()
+	}
+}
+
+// crossReason renders a cross-barrier wait for park and stall reports:
+// the peer shard and edge, not a spurious local deadlock.
+func (s *subState) crossReason(idx int) string {
+	ge := s.crossWaitEdge[idx]
+	if ge < 0 {
+		return fmt.Sprintf("action %d: cross-shard barrier", s.global[idx])
+	}
+	e := &s.full.Edges[ge]
+	return fmt.Sprintf("action %d: cross-shard barrier on edge %d, awaiting action %d (shard %d)",
+		s.global[idx], ge, e.From, s.plan.CompOf[e.From])
+}
+
+// Coordinator member states.
+const (
+	memberRunning = iota
+	memberBlocked
+	memberDone
+)
+
+// crossWaiter is one thread parked on a cross edge. fired is written in
+// the waiter's own kernel context by the injected wake and read by the
+// thread after it resumes; the kernel's park/resume handoff orders the
+// two.
+type crossWaiter struct {
+	th    *sim.Thread
+	m     int
+	tPark time.Duration
+	fired bool
+}
+
+// injection is a pending wake for a member's kernel: unpark w.th at
+// virtual time at. Injections are delivered only by the member's own
+// pacer during a clock advance, never directly from the publishing
+// shard, so their position in the member's event order depends only on
+// virtual times — not on which host thread got there first.
+type injection struct {
+	at   time.Duration
+	edge int32
+	w    *crossWaiter
+}
+
+// clusterCoord synchronizes the virtual clocks of one cluster's
+// components. The protocol is conservative: a member may advance its
+// clock to T only if, for every inbound cross edge not yet published,
+// the source member's clock is strictly past T (so no publication with
+// a wake at or before T can still arrive). When every member is blocked
+// — the deterministic quiescent state — the member with the smallest
+// (target, member) pair is granted one advance, which resolves the
+// zero-lookahead cycles program-order chains create without giving up
+// determinism.
+type clusterCoord struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// clock[m] is member m's latest granted advance target; state and
+	// target describe blocked members; granted marks one-shot stall
+	// grants; parked counts m's threads parked on cross edges.
+	clock   []time.Duration
+	state   []int
+	target  []time.Duration
+	granted []bool
+	parked  []int
+	// inSrc lists each member's inbound cross edges with their source
+	// member; pub holds published edge satisfaction times; waiters the
+	// parked thread per unpublished awaited edge; inj the pending wakes
+	// per member, sorted by (at, edge).
+	inSrc   [][]edgeSrc
+	pub     map[int32]time.Duration
+	waiters map[int32]*crossWaiter
+	inj     [][]injection
+
+	// dead aborts the cluster (peer failure or cross deadlock);
+	// deadlocked distinguishes the latter for error reporting.
+	dead       bool
+	deadlocked bool
+}
+
+type edgeSrc struct {
+	edge int32
+	src  int
+}
+
+func newClusterCoord(plan *shard.Plan, cluster []int32) *clusterCoord {
+	n := len(cluster)
+	c := &clusterCoord{
+		clock:   make([]time.Duration, n),
+		state:   make([]int, n),
+		target:  make([]time.Duration, n),
+		granted: make([]bool, n),
+		parked:  make([]int, n),
+		inSrc:   make([][]edgeSrc, n),
+		pub:     make(map[int32]time.Duration),
+		waiters: make(map[int32]*crossWaiter),
+		inj:     make([][]injection, n),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	memberOf := make(map[int32]int, n)
+	for m, comp := range cluster {
+		memberOf[comp] = m
+	}
+	for _, ce := range plan.Cross {
+		if m, ok := memberOf[ce.To]; ok {
+			c.inSrc[m] = append(c.inSrc[m], edgeSrc{edge: ce.Edge, src: memberOf[ce.From]})
+		}
+	}
+	return c
+}
+
+// advance implements the pacer gate for member m (called in m's kernel
+// context). next is the kernel's earliest pending instant, or
+// sim.PacerIdle when only an injected wake can make progress.
+func (c *clusterCoord) advance(k *sim.Kernel, m int, next time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	injected := false
+	for {
+		if c.dead {
+			k.Stop()
+			return true
+		}
+		target := infDur
+		if next != sim.PacerIdle {
+			target = next
+		}
+		if lst := c.inj[m]; len(lst) > 0 && lst[0].at < target {
+			target = lst[0].at
+		}
+		if target == infDur {
+			if c.parked[m] == 0 {
+				// Nothing parked on a barrier and no own events: a
+				// genuine local deadlock; let the kernel report it.
+				return false
+			}
+		} else if c.allowed(m, target) {
+			for len(c.inj[m]) > 0 && c.inj[m][0].at <= target {
+				in := c.inj[m][0]
+				c.inj[m] = c.inj[m][1:]
+				w := in.w
+				k.At(in.at, func() {
+					w.fired = true
+					k.Unpark(w.th)
+				})
+				injected = true
+			}
+			c.granted[m] = false
+			if target > c.clock[m] {
+				c.clock[m] = target
+				c.cond.Broadcast()
+			}
+			if next == sim.PacerIdle {
+				return true
+			}
+			return injected || target < next
+		}
+		c.state[m] = memberBlocked
+		c.target[m] = target
+		c.checkStall()
+		// checkStall may have granted this very member (or declared the
+		// cluster dead): its broadcast fired before we could Wait, so
+		// re-evaluate instead of sleeping through our own wake-up.
+		if !c.granted[m] && !c.dead {
+			c.cond.Wait()
+		}
+		c.state[m] = memberRunning
+	}
+}
+
+// allowed reports whether member m may advance its clock to target.
+func (c *clusterCoord) allowed(m int, target time.Duration) bool {
+	if c.granted[m] {
+		return true
+	}
+	for _, es := range c.inSrc[m] {
+		if _, ok := c.pub[es.edge]; ok {
+			continue
+		}
+		if c.state[es.src] == memberDone {
+			// A finished source will never publish; the parked waiter is
+			// a deadlock, which idle detection reports.
+			continue
+		}
+		if c.clock[es.src] <= target {
+			return false
+		}
+	}
+	return true
+}
+
+// checkStall runs whenever a member blocks or finishes, with the lock
+// held. If the whole cluster is quiescent it grants the smallest
+// (target, member) advance, or — when no member has a finite target —
+// declares a cross-shard deadlock. Quiescent states are functions of
+// the virtual execution alone, so the grant sequence is deterministic.
+func (c *clusterCoord) checkStall() {
+	best := -1
+	var bestT time.Duration
+	for m, st := range c.state {
+		switch st {
+		case memberRunning:
+			return
+		case memberBlocked:
+			// The recorded target may be stale: a publish can queue an
+			// injection for a member that has not re-evaluated yet. Fold
+			// pending injections in, so the effective target is the same
+			// whether or not the member has woken — quiescent decisions
+			// must depend only on the virtual execution.
+			t := c.target[m]
+			if lst := c.inj[m]; len(lst) > 0 && lst[0].at < t {
+				t = lst[0].at
+			}
+			if t < infDur && (best < 0 || t < bestT) {
+				best, bestT = m, t
+			}
+		}
+	}
+	allDone := true
+	for _, st := range c.state {
+		if st != memberDone {
+			allDone = false
+			break
+		}
+	}
+	if allDone {
+		return
+	}
+	if best < 0 {
+		c.dead = true
+		c.deadlocked = true
+		c.cond.Broadcast()
+		return
+	}
+	if !c.granted[best] {
+		c.granted[best] = true
+		c.cond.Broadcast()
+	}
+}
+
+// addInj inserts a pending wake, keeping inj[m] sorted by (at, edge).
+func (c *clusterCoord) addInj(m int, at time.Duration, edge int32, w *crossWaiter) {
+	lst := c.inj[m]
+	i := len(lst)
+	for i > 0 && (lst[i-1].at > at || (lst[i-1].at == at && lst[i-1].edge > edge)) {
+		i--
+	}
+	lst = append(lst, injection{})
+	copy(lst[i+1:], lst[i:])
+	lst[i] = injection{at: at, edge: edge, w: w}
+	c.inj[m] = lst
+}
+
+// await blocks the calling thread until edge is published, returning
+// the published satisfaction time. Called in member m's kernel context.
+func (c *clusterCoord) await(t *sim.Thread, k *sim.Kernel, m int, edge int32, reason func() string) time.Duration {
+	c.mu.Lock()
+	now := k.Now()
+	if v, ok := c.pub[edge]; ok && v <= now {
+		// Satisfied in this member's past. The conservative bound
+		// guarantees the publication is already visible here: m could
+		// only reach now with the source clock past it.
+		c.mu.Unlock()
+		return v
+	}
+	w := &crossWaiter{th: t, m: m, tPark: now}
+	if v, ok := c.pub[edge]; ok {
+		c.addInj(m, v, edge, w) // v > now: wake exactly at the edge time
+	} else {
+		c.waiters[edge] = w
+	}
+	c.parked[m]++
+	c.mu.Unlock()
+	for !w.fired {
+		t.ParkFn(reason)
+	}
+	c.mu.Lock()
+	c.parked[m]--
+	v := c.pub[edge]
+	c.mu.Unlock()
+	return v
+}
+
+// publish records edge's satisfaction time and, if a thread is parked
+// on it, queues the wake for the waiter's own pacer to deliver.
+func (c *clusterCoord) publish(edge int32, v time.Duration) {
+	c.mu.Lock()
+	c.pub[edge] = v
+	if w := c.waiters[edge]; w != nil {
+		delete(c.waiters, edge)
+		at := v
+		if w.tPark > at {
+			at = w.tPark
+		}
+		c.addInj(w.m, at, edge, w)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// memberDone marks member m finished (its clock no longer constrains
+// anyone) and re-checks the cluster for quiescence.
+func (c *clusterCoord) memberDone(m int) {
+	c.mu.Lock()
+	c.state[m] = memberDone
+	c.clock[m] = infDur
+	c.checkStall()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// abort kills the cluster after a member failure; peer pacers stop
+// their kernels at the next advance.
+func (c *clusterCoord) abort() {
+	c.mu.Lock()
+	if !c.dead {
+		c.dead = true
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// shardPacer adapts a cluster coordinator to one kernel's Pacer hook.
+type shardPacer struct {
+	c *clusterCoord
+	k *sim.Kernel
+	m int
+}
+
+func (p *shardPacer) Advance(next time.Duration) bool { return p.c.advance(p.k, p.m, next) }
+
+// compiledShard is one component's replay unit: a sub-benchmark whose
+// records, actions, and touch plans are dense contiguous copies of the
+// component's slice of the trace, plus the local dependency graph and
+// the cross-edge wiring.
+type compiledShard struct {
+	comp    int32
+	members []int32
+	b       *Benchmark
+	g       *core.Graph
+	sub     *subState
+	// rec is the per-component span/sample recorder (nil without obs);
+	// rs is filled once the member's kernel has run.
+	rec *obs.Recorder
+	rs  *replayState
+}
+
+// buildShards materializes every component's replay unit.
+func buildShards(b *Benchmark, g *core.Graph, plan *shard.Plan, obsOn bool) []*compiledShard {
+	n := plan.N
+	nc := len(plan.Components)
+	// localOf renumbers each action within its component.
+	localOf := make([]int32, n)
+	counters := make([]int32, nc)
+	for i := 0; i < n; i++ {
+		comp := plan.CompOf[i]
+		localOf[i] = counters[comp]
+		counters[comp]++
+	}
+	// One pass over the full edge list builds every component's local
+	// edge list (cross edges excluded: barriers enforce them).
+	edgesOf := make([][]core.Edge, nc)
+	edgeGlobalOf := make([][]int32, nc)
+	for ei := range g.Edges {
+		e := &g.Edges[ei]
+		cf := plan.CompOf[e.From]
+		if cf != plan.CompOf[e.To] {
+			continue
+		}
+		edgesOf[cf] = append(edgesOf[cf], core.Edge{
+			From: int(localOf[e.From]), To: int(localOf[e.To]), Kind: e.Kind, Res: e.Res,
+		})
+		edgeGlobalOf[cf] = append(edgeGlobalOf[cf], int32(ei))
+	}
+	shards := make([]*compiledShard, nc)
+	for ci := range plan.Components {
+		shards[ci] = buildOneShard(b, g, plan, int32(ci), localOf, edgesOf[ci], edgeGlobalOf[ci], obsOn)
+	}
+	// Cross-edge wiring, one pass over the registered cross list.
+	for _, ce := range plan.Cross {
+		e := &g.Edges[ce.Edge]
+		to := shards[ce.To].sub
+		li := localOf[e.To]
+		to.crossIn[li] = append(to.crossIn[li], ce.Edge)
+		from := shards[ce.From].sub
+		lo := localOf[e.From]
+		from.crossOut[lo] = append(from.crossOut[lo], ce.Edge)
+	}
+	return shards
+}
+
+func buildOneShard(b *Benchmark, g *core.Graph, plan *shard.Plan, comp int32,
+	localOf []int32, edges []core.Edge, edgeGlobal []int32, obsOn bool) *compiledShard {
+	members := plan.Components[comp]
+	m := len(members)
+	// Contiguous local copies: the replay hot path walks records and
+	// actions densely instead of striding through the whole trace.
+	recs := make([]trace.Record, m)
+	recPtrs := make([]*trace.Record, m)
+	acts := make([]core.Action, m)
+	for li, gidx := range members {
+		recs[li] = *b.Trace.Records[gidx]
+		recs[li].Seq = int64(li)
+		recPtrs[li] = &recs[li]
+		acts[li] = b.Analysis.Actions[gidx]
+		acts[li].Rec = recPtrs[li]
+	}
+	var touches []actionTouches
+	if b.touches != nil {
+		touches = make([]actionTouches, m)
+		for li, gidx := range members {
+			touches[li] = b.touches[gidx]
+		}
+	}
+	subTrace := &trace.Trace{Platform: b.Trace.Platform, Records: recPtrs}
+	subB := &Benchmark{
+		Platform: b.Platform,
+		Modes:    b.Modes,
+		Trace:    subTrace,
+		Snapshot: b.Snapshot,
+		Analysis: &core.Analysis{Trace: subTrace, Actions: acts},
+		touches:  touches,
+	}
+	sub := &subState{
+		comp:          comp,
+		global:        members,
+		edgeGlobal:    edgeGlobal,
+		full:          g,
+		plan:          plan,
+		crossIn:       make([][]int32, m),
+		crossOut:      make([][]int32, m),
+		crossWaitEdge: make([]int32, m),
+	}
+	for i := range sub.crossWaitEdge {
+		sub.crossWaitEdge[i] = -1
+	}
+	if obsOn {
+		sub.crossRelAt = make([]time.Duration, m)
+		sub.crossRelEdge = make([]int32, m)
+		for i := range sub.crossRelEdge {
+			sub.crossRelEdge[i] = -1
+		}
+	}
+	return &compiledShard{
+		comp:    comp,
+		members: members,
+		b:       subB,
+		g:       core.NewGraph(m, edges),
+		sub:     sub,
+	}
+}
+
+// finishSub tears down one component's replay machinery without
+// assembling a full report; the merge reads the raw state instead.
+func (rs *replayState) finishSub() error {
+	if rs.watchdog != nil {
+		rs.watchdog.Stop()
+		rs.watchdog = nil
+	}
+	if rs.obsDetach != nil {
+		rs.obsDetach()
+		rs.obsDetach = nil
+	}
+	if rs.stall != nil {
+		return rs.stall
+	}
+	return nil
+}
+
+// runMember builds one component's replica system, replays the
+// component on it, and leaves the raw state on cs for the merge.
+func runMember(cs *compiledShard, opts Options, so ShardOptions, coord *clusterCoord, mi int) (err error) {
+	if coord != nil {
+		defer func() {
+			if err != nil {
+				coord.abort()
+			}
+		}()
+	}
+	k := sim.NewKernel()
+	conf := so.Target
+	var inj *fault.Injector
+	if so.Fault != nil {
+		inj = fault.New(*so.Fault)
+		conf.Faults = inj
+	} else {
+		conf.Faults = nil
+	}
+	sys := stack.New(k, conf)
+	if so.Init != nil {
+		if err := so.Init(sys); err != nil {
+			return fmt.Errorf("artc: shard %d init: %w", cs.comp, err)
+		}
+	}
+	opts2 := opts
+	opts2.Fault = inj
+	opts2.Obs = nil
+	if opts.Obs != nil {
+		cs.rec = obs.NewRecorder(len(cs.members), opts.Obs.SampleCap())
+		opts2.Obs = cs.rec
+	}
+	rs := newReplayState(sys, cs.b, opts2, cs.g)
+	rs.sub = cs.sub
+	rs.sub.member = mi
+	rs.sub.coord = coord
+	if coord != nil {
+		k.SetPacer(&shardPacer{c: coord, k: k, m: mi})
+	}
+	rs.spawnThreads()
+	runErr := k.Run()
+	if coord != nil {
+		coord.memberDone(mi)
+	}
+	cs.rs = rs
+	if ferr := rs.finishSub(); ferr != nil {
+		return ferr
+	}
+	if runErr != nil {
+		return fmt.Errorf("artc: shard %d replay stalled: %w", cs.comp, runErr)
+	}
+	return nil
+}
+
+// runCluster replays one cluster: a single component directly, or a
+// cross-connected group under a clock-exchange coordinator.
+func runCluster(shards []*compiledShard, cluster []int32, opts Options, so ShardOptions) error {
+	if len(cluster) == 1 {
+		return runMember(shards[cluster[0]], opts, so, nil, 0)
+	}
+	coord := newClusterCoord(shards[cluster[0]].sub.plan, cluster)
+	errs := make([]error, len(cluster))
+	var wg sync.WaitGroup
+	for mi, comp := range cluster {
+		wg.Add(1)
+		go func(mi int, comp int32) {
+			defer wg.Done()
+			errs[mi] = runMember(shards[comp], opts, so, coord, mi)
+		}(mi, comp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if coord.deadlocked {
+		return crossStall(shards, cluster)
+	}
+	return nil
+}
+
+// crossStall assembles a shard-aware StallReport for a cluster whose
+// members all blocked on unsatisfiable cross-shard barriers.
+func crossStall(shards []*compiledShard, cluster []int32) error {
+	s := &StallReport{Trigger: "cross-barrier"}
+	for _, comp := range cluster {
+		cs := shards[comp]
+		if cs.rs == nil {
+			continue
+		}
+		rs := cs.rs
+		s.Total += len(rs.b.Trace.Records)
+		s.Completed += rs.completed
+		s.Errors += rs.rep.Errors
+		if at := rs.sys.K.Now() - rs.start; at > s.At {
+			s.At = at
+		}
+		part := rs.buildStall("cross-barrier")
+		for _, ba := range part.Blocked {
+			if len(s.Blocked) >= maxStallBlocked {
+				s.Truncated++
+				continue
+			}
+			s.Blocked = append(s.Blocked, ba)
+		}
+		s.Truncated += part.Truncated
+	}
+	return s
+}
+
+// mergedSample keys one component's error sample for the merge.
+type mergedSample struct {
+	at   time.Duration
+	comp int32
+	text string
+}
+
+// ReplaySharded partitions the benchmark's dependency graph into
+// replica-isolated components (internal/shard) and replays every
+// component on its own kernel/scheduler/storage stack, each advancing
+// its own virtual clock; components connected by program-order edges
+// synchronize through deterministic clock-exchange barriers. Per-shard
+// reports, spans, and counters are merged into one Report. For a trace
+// the partitioner keeps whole (one component), the merged output is
+// byte-identical to Replay on an identically configured system; the
+// output never depends on Shards or GOMAXPROCS.
+func ReplaySharded(b *Benchmark, opts Options, so ShardOptions) (*Report, *ShardStats, error) {
+	if opts.Fault != nil {
+		return nil, nil, fmt.Errorf("artc: sharded replay takes a fault plan in ShardOptions.Fault, not an injector in Options.Fault")
+	}
+	if opts.MaxErrorSamples == 0 {
+		opts.MaxErrorSamples = 10
+	}
+	g, err := methodGraph(b, &opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := shard.Partition(b.Analysis, g)
+	clusters := plan.Clusters()
+	workers := so.Shards
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pst := plan.Stats()
+	stats := &ShardStats{
+		Components: pst.Components,
+		Clusters:   len(clusters),
+		CrossEdges: pst.CrossEdges,
+		Largest:    pst.Largest,
+		Shards:     workers,
+	}
+	shards := buildShards(b, g, plan, opts.Obs != nil)
+	if err := par.ForEachN(len(clusters), workers, func(ci int) error {
+		return runCluster(shards, clusters[ci], opts, so)
+	}); err != nil {
+		return nil, stats, err
+	}
+	rep, err := mergeReports(b, g, shards, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	return rep, stats, nil
+}
+
+// mergeReports folds the per-component raw states into one Report and,
+// when observability is on, replays the merged span and sample streams
+// into the caller's recorder. Per-component streams are interleaved by
+// virtual time with component index as the tiebreak, preserving each
+// component's internal order — for a single component this reproduces
+// the serial streams exactly.
+func mergeReports(b *Benchmark, g *core.Graph, shards []*compiledShard, opts Options) (*Report, error) {
+	n := len(b.Trace.Records)
+	rep := &Report{
+		Method:    opts.Method,
+		Actions:   n,
+		IssueAt:   make([]time.Duration, n),
+		DoneAt:    make([]time.Duration, n),
+		CallTime:  make(map[string]time.Duration),
+		CallCount: make(map[string]int64),
+		PerThread: make(map[int]time.Duration),
+		graph:     g,
+	}
+	var samples []mergedSample
+	var fstats *fault.Stats
+	for _, cs := range shards {
+		rs := cs.rs
+		if rs == nil {
+			return nil, fmt.Errorf("artc: shard %d never ran", cs.comp)
+		}
+		for li, gidx := range cs.members {
+			rep.IssueAt[gidx] = rs.issueAt[li]
+			rep.DoneAt[gidx] = rs.doneAt[li]
+		}
+		rep.Errors += rs.rep.Errors
+		rep.Emulated += rs.rep.Emulated
+		rep.ThreadTime += rs.rep.ThreadTime
+		for call, d := range rs.rep.CallTime {
+			rep.CallTime[call] += d
+		}
+		for call, cnt := range rs.rep.CallCount {
+			rep.CallCount[call] += cnt
+		}
+		for tid, d := range rs.rep.PerThread {
+			rep.PerThread[tid] += d
+		}
+		for si, text := range rs.rep.ErrorSamples {
+			samples = append(samples, mergedSample{at: rs.sampleAt[si], comp: cs.comp, text: text})
+		}
+		if rs.inj != nil {
+			st := rs.inj.Stats()
+			if fstats == nil {
+				fstats = &fault.Stats{}
+			}
+			fstats.SyscallInjected += st.SyscallInjected
+			fstats.Retries += st.Retries
+			fstats.Recovered += st.Recovered
+			fstats.Skipped += st.Skipped
+			fstats.StorageErrors += st.StorageErrors
+			fstats.StorageSlow += st.StorageSlow
+		}
+	}
+	var last time.Duration
+	for _, d := range rep.DoneAt {
+		if d > last {
+			last = d
+		}
+	}
+	rep.Elapsed = last
+	// Error samples keep the serial retention rule generalized: the
+	// first MaxErrorSamples in merged completion order.
+	sort.SliceStable(samples, func(i, j int) bool {
+		if samples[i].at != samples[j].at {
+			return samples[i].at < samples[j].at
+		}
+		return samples[i].comp < samples[j].comp
+	})
+	if max := opts.MaxErrorSamples; max >= 0 && len(samples) > max {
+		samples = samples[:max]
+	}
+	for _, s := range samples {
+		rep.ErrorSamples = append(rep.ErrorSamples, s.text)
+	}
+	rep.Graph = g.Stats(b.Analysis)
+	rep.FaultStats = fstats
+
+	if opts.Obs != nil {
+		var spans []obs.Span
+		for _, cs := range shards {
+			spans = append(spans, cs.rec.Spans()...)
+		}
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].Done != spans[j].Done {
+				return spans[i].Done < spans[j].Done
+			}
+			return spans[i].Shard < spans[j].Shard
+		})
+		for _, sp := range spans {
+			opts.Obs.Record(sp)
+		}
+		type keyedSample struct {
+			s    obs.Sample
+			comp int32
+		}
+		var smps []keyedSample
+		for _, cs := range shards {
+			for _, s := range cs.rec.Samples() {
+				smps = append(smps, keyedSample{s: s, comp: cs.comp})
+			}
+		}
+		sort.SliceStable(smps, func(i, j int) bool {
+			if smps[i].s.At != smps[j].s.At {
+				return smps[i].s.At < smps[j].s.At
+			}
+			return smps[i].comp < smps[j].comp
+		})
+		for _, ks := range smps {
+			opts.Obs.Sample(ks.s.At, ks.s.Kind, ks.s.Value)
+		}
+	}
+
+	if opts.SelfCheck {
+		// The global validation doubles as the barrier-correctness
+		// assertion: merged issue/done times must satisfy every edge of
+		// the full graph, cross-component ones included.
+		if err := g.ValidateOrder(rep.IssueAt, rep.DoneAt); err != nil {
+			return nil, fmt.Errorf("artc: sharded self-check failed: %w", err)
+		}
+	}
+	return rep, nil
+}

@@ -81,6 +81,12 @@ func newGraph(n int, edges []Edge) *Graph {
 	return g
 }
 
+// NewGraph assembles a graph from an explicit edge list, building the
+// dependency indexes. Callers own edge order and deduplication; the
+// sharded replayer uses it to materialize per-component subgraphs whose
+// edge slices are filtered copies of an already-built graph's.
+func NewGraph(n int, edges []Edge) *Graph { return newGraph(n, edges) }
+
 // BuildGraph derives the replay dependency graph from an analysis under
 // the given mode set. Edges within a single thread are omitted: thread
 // sequential ordering is enforced structurally by replaying each traced

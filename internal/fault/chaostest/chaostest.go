@@ -49,6 +49,11 @@ type Options struct {
 	// exported Chrome trace byte-for-byte, and so single-seed runs can
 	// export it.
 	Obs bool
+	// Shards, when positive, replays through the sharded replayer
+	// (artc.ReplaySharded) with this worker bound instead of the serial
+	// one; every invariant — including Verify's bit-reproducibility —
+	// must hold identically.
+	Shards int
 }
 
 // Result is one seed's outcome. An empty Violations slice means every
@@ -157,18 +162,34 @@ func replayOnce(opts Options, seed uint64) (rep *artc.Report, rec *obs.Recorder,
 	}()
 	plan := opts.Plan
 	plan.Seed = seed
-	in := fault.New(plan)
-	conf := opts.Target
-	conf.Faults = in
 	if opts.Obs {
 		rec = obs.NewRecorder(0, 0)
 	}
-	k := sim.NewKernel()
-	sys := stack.New(k, conf)
-	if err := magritte.InitTarget(sys, opts.Bench, conf.Platform == stack.Linux); err != nil {
-		return nil, rec, append(violations, fmt.Sprintf("init: %v", err))
+	var r *artc.Report
+	var err error
+	if opts.Shards > 0 {
+		// Sharded chaos: each component replica gets its own injector
+		// built from the plan (decisions are keyed by global action
+		// index, so results match the serial replayer's).
+		r, _, err = artc.ReplaySharded(opts.Bench, artc.Options{Obs: rec}, artc.ShardOptions{
+			Shards: opts.Shards,
+			Target: opts.Target,
+			Init: func(sys *stack.System) error {
+				return magritte.InitTarget(sys, opts.Bench, opts.Target.Platform == stack.Linux)
+			},
+			Fault: &plan,
+		})
+	} else {
+		in := fault.New(plan)
+		conf := opts.Target
+		conf.Faults = in
+		k := sim.NewKernel()
+		sys := stack.New(k, conf)
+		if err := magritte.InitTarget(sys, opts.Bench, conf.Platform == stack.Linux); err != nil {
+			return nil, rec, append(violations, fmt.Sprintf("init: %v", err))
+		}
+		r, err = artc.Replay(sys, opts.Bench, artc.Options{Fault: in, Obs: rec})
 	}
-	r, err := artc.Replay(sys, opts.Bench, artc.Options{Fault: in, Obs: rec})
 	if err != nil {
 		// A stall report or kernel deadlock under random faults means
 		// the replayer failed to degrade gracefully.

@@ -52,6 +52,9 @@ type Span struct {
 	ReleasedAt time.Duration
 	// ReleaseRes names the resource of the satisfying edge ("" if none).
 	ReleaseRes string
+	// Shard is the replay component the action executed on (0 for a
+	// serial replay, which runs everything as one component).
+	Shard int32
 }
 
 // Wait returns the span's pre-issue time (dependency wait + predelay).
@@ -138,6 +141,24 @@ func NewRecorder(spanCap, sampleCap int) *Recorder {
 		sampleCap = DefaultSampleCap
 	}
 	return &Recorder{spanCap: spanCap, sampleCap: sampleCap}
+}
+
+// SpanCap and SampleCap report the ring capacities (0 for a nil
+// recorder); the sharded replayer mirrors a caller recorder's
+// configuration onto its per-component recorders.
+func (r *Recorder) SpanCap() int {
+	if r == nil {
+		return 0
+	}
+	return r.spanCap
+}
+
+// SampleCap reports the counter-sample ring capacity.
+func (r *Recorder) SampleCap() int {
+	if r == nil {
+		return 0
+	}
+	return r.sampleCap
 }
 
 // Record appends a span, overwriting the oldest when the ring is full.

@@ -19,10 +19,19 @@ import (
 // lowest-index error, matching what a serial loop that collected all
 // errors would report first.
 func ForEach(n int, fn func(i int) error) error {
+	return ForEachN(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForEachN is ForEach with an explicit worker bound: up to workers
+// goroutines (at least one) instead of GOMAXPROCS. The sharded replayer
+// uses it to honor a -shards setting independent of GOMAXPROCS.
+func ForEachN(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
 	if workers > n {
 		workers = n
 	}

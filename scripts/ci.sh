@@ -3,18 +3,21 @@
 #
 #   scripts/ci.sh [lane] [tag] [prev]
 #
-#   lane  one of vet-race | determinism | ingest | chaos | fuzz | bench
-#         or "all" (the default). For backward compatibility a first
-#         argument that looks like a tag (pr5, v2, ...) selects "all"
-#         with that tag.
+#   lane  one of vet-race | determinism | ingest | shard | chaos | fuzz |
+#         bench, or "all" (the default). For backward compatibility a
+#         first argument that looks like a tag (pr5, v2, ...) selects
+#         "all" with that tag.
 #   tag   perfstat snapshot tag; the bench lane writes BENCH_<tag>.json.
 #   prev  baseline BENCH_*.json for the benchcmp gate. When omitted, the
 #         newest BENCH_*.json other than the current tag's is used.
 #
 # Lanes: vet-race (go vet + race-enabled tests), determinism
 # (byte-identical trace export under forced parallelism), ingest
-# (sequential and sharded strace parses agree), chaos (seeded fault
-# sweep with per-seed verification plus a single-seed bit-repro check),
+# (sequential and sharded strace parses agree), shard (sharded replay
+# matches serial byte for byte across GOMAXPROCS and shard counts, the
+# components family spec regenerates exactly, and the chaos invariants
+# hold through the sharded replayer), chaos (seeded fault sweep with
+# per-seed verification plus a single-seed bit-repro check),
 # fuzz (a short strace-lexer fuzz smoke), bench (perfstat snapshot and
 # the benchcmp regression gate).
 set -eu
@@ -22,10 +25,10 @@ set -eu
 cd "$(dirname "$0")/.."
 
 lane="${1:-all}"
-tag="${2:-pr5}"
+tag="${2:-pr6}"
 prev="${3:-}"
 case "$lane" in
-  vet-race|determinism|ingest|chaos|fuzz|bench|all) ;;
+  vet-race|determinism|ingest|shard|chaos|fuzz|bench|all) ;;
   *) tag="$lane"; lane="all" ;;
 esac
 
@@ -68,6 +71,30 @@ ingest() {
     -run 'StraceGolden|ParseStraceAllocRegression|MergeShares|ShardedShares' ./internal/trace/
 }
 
+shard() {
+  echo "== shard: property + differential tests under -race"
+  GOMAXPROCS=8 go test -race -count=1 -run 'Partition|Sharded|ComponentsFamily' \
+    ./internal/shard/ ./internal/artc/ ./internal/magritte/ ./internal/workload/
+  go build -o "$tmp/artc" ./cmd/artc
+  go build -o "$tmp/tracegen" ./cmd/tracegen
+  echo "== shard: sharded trace export matches serial at GOMAXPROCS=1/2/8"
+  "$tmp/artc" trace -magritte pages_docphoto15 -quiet -o "$tmp/shard-serial.json"
+  for procs in 1 2 8; do
+    for n in 1 2 4 8; do
+      GOMAXPROCS=$procs "$tmp/artc" trace -magritte pages_docphoto15 -shards $n \
+        -quiet -o "$tmp/shard-$procs-$n.json"
+      cmp "$tmp/shard-serial.json" "$tmp/shard-$procs-$n.json"
+    done
+  done
+  echo "== shard: components family spec regenerates byte for byte"
+  "$tmp/tracegen" -family components -components 5 -ops 200 -skew 0.5 -seed 11 \
+    -o "$tmp/components.trace" -snapshot "$tmp/components.snap"
+  cmp internal/workload/testdata/components_small.trace "$tmp/components.trace"
+  echo "== shard: chaos invariants hold through the sharded replayer"
+  GOMAXPROCS=8 "$tmp/artc" chaos -magritte pages_docphoto15 -gen-scale 0.01 \
+    -seeds 8 -verify -shards 4
+}
+
 chaos() {
   go build -o "$tmp/artc" ./cmd/artc
   echo "== chaos: 16-seed fault sweep with per-seed double-run verification"
@@ -101,8 +128,9 @@ case "$lane" in
   vet-race)    vet_race ;;
   determinism) determinism ;;
   ingest)      ingest ;;
+  shard)       shard ;;
   chaos)       chaos ;;
   fuzz)        fuzz ;;
   bench)       bench ;;
-  all)         vet_race; determinism; ingest; chaos; fuzz; bench ;;
+  all)         vet_race; determinism; ingest; shard; chaos; fuzz; bench ;;
 esac
