@@ -1,5 +1,5 @@
 GO ?= go
-TAG ?= pr6
+TAG ?= pr7
 
 .PHONY: build test race vet bench perfstat profile chaos fuzz ci
 

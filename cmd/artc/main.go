@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"rootreplay/internal/artc"
+	"rootreplay/internal/artifact"
 	"rootreplay/internal/core"
 	"rootreplay/internal/fault"
 	"rootreplay/internal/fault/chaostest"
@@ -102,6 +103,51 @@ func readTrace(path, format string, shards int) (*trace.Trace, error) {
 	}
 }
 
+// cacheFlags registers the artifact-cache flags shared by the commands
+// that compile (compile, trace, chaos).
+func cacheFlags(fs *flag.FlagSet) (dir *string, off *bool) {
+	dir = fs.String("cache-dir", "", "compiled-artifact cache directory (default: <user cache dir>/artc)")
+	off = fs.Bool("no-cache", false, "disable the compiled-artifact cache")
+	return dir, off
+}
+
+// openStore opens the artifact cache, or returns nil (uncached
+// operation) when disabled or unavailable. An unusable cache directory
+// is a warning, not a failure: caching can cost time, never a run.
+func openStore(dir string, off bool) *artifact.Store {
+	if off {
+		return nil
+	}
+	s, err := artifact.Open(dir, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "artc: artifact cache disabled: %v\n", err)
+		return nil
+	}
+	return s
+}
+
+// reportCache prints one line describing how a cached compile was
+// satisfied. The "corrupt" wording is load-bearing: CI greps for it to
+// prove damaged artifacts are detected rather than replayed.
+func reportCache(st artifact.Stats, quiet bool) {
+	if st.Key == "" {
+		return
+	}
+	switch {
+	case st.Corrupt:
+		// A corrupt cache entry is a safety signal, not progress chatter:
+		// report it even under -quiet.
+		fmt.Fprintf(os.Stderr, "artc: cache: corrupt artifact detected and removed, recompiled key=%s\n", st.Key[:12])
+	case quiet:
+	case st.Hit:
+		fmt.Fprintf(os.Stderr, "artc: cache: hit key=%s load=%v size=%d\n",
+			st.Key[:12], time.Duration(st.LoadNs), st.Bytes)
+	default:
+		fmt.Fprintf(os.Stderr, "artc: cache: miss key=%s compile=%v size=%d\n",
+			st.Key[:12], time.Duration(st.CompileNs), st.Bytes)
+	}
+}
+
 func readSnapshot(path string) (*snapshot.Snapshot, error) {
 	if path == "" {
 		return nil, nil
@@ -123,6 +169,8 @@ func compileCmd(args []string) error {
 	modesFlag := fs.String("modes", artc.ModesString(core.DefaultModes()), "ordering modes")
 	shards := fs.Int("shards", 0, "parse strace input in N parallel shards (0 = sequential, -1 = one per CPU)")
 	stream := fs.Bool("stream", false, "stream strace parsing into the compiler (requires -format strace; overlap needs -snapshot)")
+	binOut := fs.Bool("binary", false, "write the output as a binary artifact instead of text")
+	cacheDir, noCache := cacheFlags(fs)
 	fs.Parse(args)
 	if *tracePath == "" {
 		return fmt.Errorf("-trace is required")
@@ -135,9 +183,22 @@ func compileCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	store := openStore(*cacheDir, *noCache)
 
 	var b *artc.Benchmark
-	if *stream {
+	var st artifact.Stats
+	switch {
+	case store != nil && *format == "strace":
+		// Key on the raw strace bytes so a warm hit skips parsing too;
+		// cold misses compile through the streaming path.
+		raw, err := os.ReadFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		if b, st, err = artifact.CompileStrace(store, raw, snap, modes); err != nil {
+			return err
+		}
+	case *stream:
 		if *format != "strace" {
 			return fmt.Errorf("-stream requires -format strace")
 		}
@@ -149,21 +210,27 @@ func compileCmd(args []string) error {
 		if b, err = artc.CompileStraceStream(f, snap, modes); err != nil {
 			return err
 		}
-	} else {
+	default:
 		tr, err := readTrace(*tracePath, *format, *shards)
 		if err != nil {
 			return err
 		}
-		if b, err = artc.Compile(tr, snap, modes); err != nil {
+		if b, st, err = artifact.CompileTrace(store, tr, snap, modes); err != nil {
 			return err
 		}
 	}
+	reportCache(st, false)
 	of, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
 	defer of.Close()
-	if err := b.Encode(of); err != nil {
+	if *binOut {
+		err = b.EncodeBinary(of)
+	} else {
+		err = b.Encode(of)
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Printf("compiled %d records, %d threads, %d dependency edges -> %s\n",
@@ -272,7 +339,7 @@ func replayCmd(args []string) error {
 		return err
 	}
 	defer bf.Close()
-	b, err := artc.Decode(bf)
+	b, err := artc.DecodeAny(bf)
 	if err != nil {
 		return err
 	}
@@ -358,6 +425,7 @@ func traceCmd(args []string) error {
 	critHops := fs.Int("crit-hops", 20, "critical-path rows to print (0 = all)")
 	quiet := fs.Bool("quiet", false, "suppress the text summary and critical path on stderr")
 	shards := fs.Int("shards", 0, "replay components in parallel with this worker bound (0 = serial replayer; -1 = GOMAXPROCS)")
+	cacheDir, noCache := cacheFlags(fs)
 	fs.Parse(args)
 
 	var b *artc.Benchmark
@@ -370,7 +438,7 @@ func traceCmd(args []string) error {
 			return err
 		}
 		defer bf.Close()
-		if b, err = artc.Decode(bf); err != nil {
+		if b, err = artc.DecodeAny(bf); err != nil {
 			return err
 		}
 	case *spec != "":
@@ -382,9 +450,11 @@ func traceCmd(args []string) error {
 		if err != nil {
 			return err
 		}
-		if b, err = artc.Compile(gen.Trace, gen.Snapshot, core.DefaultModes()); err != nil {
+		var st artifact.Stats
+		if b, st, err = artifact.CompileTrace(openStore(*cacheDir, *noCache), gen.Trace, gen.Snapshot, core.DefaultModes()); err != nil {
 			return err
 		}
+		reportCache(st, *quiet)
 	default:
 		return fmt.Errorf("one of -bench or -magritte is required")
 	}
@@ -459,7 +529,7 @@ func inspectCmd(args []string) error {
 		return err
 	}
 	defer bf.Close()
-	b, err := artc.Decode(bf)
+	b, err := artc.DecodeAny(bf)
 	if err != nil {
 		return err
 	}
@@ -500,6 +570,7 @@ func chaosCmd(args []string) error {
 	out := fs.String("o", "", "write the first seed's export JSON (implies span recording)")
 	quiet := fs.Bool("quiet", false, "suppress per-seed summaries")
 	shards := fs.Int("shards", 0, "replay components in parallel with this worker bound (0 = serial replayer)")
+	cacheDir, noCache := cacheFlags(fs)
 	fs.Parse(args)
 
 	if *spec == "" {
@@ -513,10 +584,11 @@ func chaosCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	b, err := artc.Compile(gen.Trace, gen.Snapshot, core.DefaultModes())
+	b, cst, err := artifact.CompileTrace(openStore(*cacheDir, *noCache), gen.Trace, gen.Snapshot, core.DefaultModes())
 	if err != nil {
 		return err
 	}
+	reportCache(cst, *quiet)
 	conf, err := targetConfig(*target, 0, 0)
 	if err != nil {
 		return err

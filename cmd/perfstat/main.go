@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"testing"
 	"time"
 
 	"rootreplay/internal/artc"
+	"rootreplay/internal/artifact"
 	"rootreplay/internal/core"
 	"rootreplay/internal/magritte"
 	"rootreplay/internal/obs"
@@ -51,6 +53,13 @@ type Stats struct {
 	TemporalEdges int `json:"temporal_edges"`
 	// Replay wall time (host) for one ARTC replay of the benchmark.
 	ReplayNs int64 `json:"replay_ns"`
+	// Artifact cache: size of the compiled binary artifact, wall time to
+	// load it back into a ready-to-replay benchmark, and whether the
+	// measured load was a cache hit. A warm replay pays CachedLoadNs
+	// where a cold one pays ParseNs + CompileNsPerOp.
+	ArtifactBytes int64 `json:"artifact_bytes"`
+	CachedLoadNs  int64 `json:"cached_load_ns"`
+	CacheHit      bool  `json:"cache_hit"`
 	// Sharded replay over the components scale corpus (tracegen -family
 	// components): serial vs component-partitioned wall time on the same
 	// benchmark, the partition's shape, and the resulting speedup.
@@ -202,10 +211,23 @@ func main() {
 	// Minimum over the iterations, like the replay timing below: the
 	// first compile pays cold caches and the allocator's ramp-up, and a
 	// mean over few iterations is dominated by that outlier on a busy
-	// host. The minimum estimates the steady-state cost.
+	// host. The minimum estimates the steady-state cost. The collector
+	// is quiesced around each min-loop (here and for the warm artifact
+	// load below, identically) so millisecond-scale regions measure the
+	// operation, not the GC pacer's reaction to the process's live heap.
+	gcQuiet := func() func() {
+		runtime.GC()
+		old := debug.SetGCPercent(-1)
+		return func() { debug.SetGCPercent(old) }
+	}
 	var b *artc.Benchmark
 	var perOp int64
+	restore := gcQuiet()
 	for i := 0; i < *iters; i++ {
+		// Collect between iterations, outside the timed region: the
+		// previous iteration's garbage is recycled into warm spans and
+		// the pacer stays asleep inside the measurement.
+		runtime.GC()
 		t0 := time.Now()
 		b, err = artc.Compile(gen.Trace, gen.Snapshot, core.DefaultModes())
 		if err != nil {
@@ -214,6 +236,47 @@ func main() {
 		}
 		if d := time.Since(t0).Nanoseconds(); i == 0 || d < perOp {
 			perOp = d
+		}
+	}
+	restore()
+
+	// Artifact cache: store the compiled benchmark once, then time the
+	// warm load path (read + binary decode into a ready-to-replay
+	// benchmark). Minimum over the iterations, like the compile timing.
+	var cachedLoadNs int64
+	var artifactBytes int64
+	cacheHit := false
+	if cacheDir, err := os.MkdirTemp("", "perfstat-cache-*"); err == nil {
+		defer os.RemoveAll(cacheDir)
+		store, err := artifact.Open(cacheDir, 0)
+		if err == nil {
+			key, err := artifact.KeyTrace(gen.Trace, gen.Snapshot, core.DefaultModes())
+			if err == nil {
+				if artifactBytes, err = store.Put(key, b); err == nil {
+					// The load is several times cheaper than a compile, so
+					// spend more samples on it: the minimum of a handful of
+					// millisecond-scale runs on a busy host is still mostly
+					// scheduler noise.
+					loadIters := *iters * 5
+					restore := gcQuiet()
+					for i := 0; i < loadIters; i++ {
+						runtime.GC()
+						t0 := time.Now()
+						wb, _, err := store.Get(key)
+						if err != nil || wb == nil {
+							break
+						}
+						cacheHit = true
+						if d := time.Since(t0).Nanoseconds(); i == 0 || d < cachedLoadNs {
+							cachedLoadNs = d
+						}
+					}
+					restore()
+				}
+			}
+		}
+		if !cacheHit {
+			fmt.Fprintln(os.Stderr, "perfstat: warm artifact load failed; cached_load_ns unset")
 		}
 	}
 
@@ -227,6 +290,9 @@ func main() {
 		EnforcedEdges:  len(b.Graph.Edges),
 		ReducedEdges:   b.Graph.ReducedEdges,
 		TemporalEdges:  len(core.TemporalGraph(b.Analysis).Edges),
+		ArtifactBytes:  artifactBytes,
+		CachedLoadNs:   cachedLoadNs,
+		CacheHit:       cacheHit,
 		GoVersion:      runtime.Version(),
 		NumCPU:         runtime.NumCPU(),
 	}
@@ -352,6 +418,9 @@ func main() {
 	fmt.Printf("perfstat: %d records, compile %.2f ms (%.0f records/s), edges raw=%d enforced=%d temporal=%d -> %s\n",
 		st.Records, float64(perOp)/1e6, st.RecordsPerSecond,
 		st.RawEdges, st.EnforcedEdges, st.TemporalEdges, *out)
+	fmt.Printf("perfstat: artifact %d bytes, warm load %.2f ms (hit=%v) vs parse+compile %.2f ms\n",
+		st.ArtifactBytes, float64(st.CachedLoadNs)/1e6, st.CacheHit,
+		float64(st.ParseNs+st.CompileNsPerOp)/1e6)
 	fmt.Printf("perfstat: parse %.2f ms (%.0f records/s, %.2f allocs/record), sharded %.2f ms (%.0f records/s) over %d records\n",
 		float64(st.ParseNs)/1e6, st.ParseRecordsPerSecond, st.ParseAllocsPerRecord,
 		float64(st.ParseShardedNs)/1e6, st.ParseShardedRecordsPerSecond, st.ParseRecords)

@@ -1,0 +1,237 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rootreplay/internal/artc"
+	"rootreplay/internal/core"
+	"rootreplay/internal/magritte"
+)
+
+func genBench(t *testing.T) *magritte.Generated {
+	t.Helper()
+	sp, ok := magritte.SpecByName("pages_docphoto15")
+	if !ok {
+		t.Fatal("magritte spec missing")
+	}
+	gen, err := magritte.Generate(sp, magritte.GenOptions{Scale: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+func TestStoreMissPutGet(t *testing.T) {
+	gen := genBench(t)
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := core.DefaultModes()
+	key, err := KeyTrace(gen.Trace, gen.Snapshot, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(key); err != ErrMiss {
+		t.Fatalf("Get on empty store: %v, want ErrMiss", err)
+	}
+
+	b, st, err := CompileTrace(s, gen.Trace, gen.Snapshot, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hit || st.Key != key || st.Bytes == 0 || st.CompileNs == 0 {
+		t.Fatalf("cold compile stats: %+v", st)
+	}
+
+	b2, st2, err := CompileTrace(s, gen.Trace, gen.Snapshot, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Hit || st2.LoadNs == 0 || st2.CompileNs != 0 {
+		t.Fatalf("warm compile stats: %+v", st2)
+	}
+	if len(b2.Trace.Records) != len(b.Trace.Records) ||
+		len(b2.Graph.Edges) != len(b.Graph.Edges) {
+		t.Fatal("cached benchmark differs from compiled")
+	}
+	// The cached artifact re-encodes byte-identically to the fresh one.
+	var fresh, cached bytes.Buffer
+	if err := b.EncodeBinary(&fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.EncodeBinary(&cached); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh.Bytes(), cached.Bytes()) {
+		t.Fatal("cached artifact drifts from fresh compile")
+	}
+}
+
+func TestKeySeparatesInputs(t *testing.T) {
+	gen := genBench(t)
+	m1 := core.DefaultModes()
+	m2 := m1
+	m2.FDSeq = !m2.FDSeq
+	k1, err := KeyTrace(gen.Trace, gen.Snapshot, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := KeyTrace(gen.Trace, gen.Snapshot, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, err := KeyTrace(gen.Trace, nil, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 || k1 == k3 || k2 == k3 {
+		t.Fatalf("keys collide: modes %s/%s nil-snap %s", k1, k2, k3)
+	}
+	if Key([]byte("x"), nil, "linux", m1) == Key([]byte("x"), nil, "osx", m1) {
+		t.Fatal("platform does not separate keys")
+	}
+}
+
+func TestCorruptEntryRecompiles(t *testing.T) {
+	gen := genBench(t)
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := core.DefaultModes()
+	_, st, err := CompileTrace(s, gen.Trace, gen.Snapshot, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.path(st.Key)
+
+	// Flip a bit in the stored artifact.
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x04
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct Get reports corruption and removes the file.
+	if _, _, err := s.Get(st.Key); err == nil {
+		t.Fatal("Get returned a corrupt artifact")
+	} else {
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("Get: %v, want CorruptError", err)
+		}
+	}
+	if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt entry not removed")
+	}
+
+	// Corrupt again via a fresh Put, then prove CompileTrace falls back.
+	if _, err := s.Put(st.Key, mustCompile(t, gen)); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(p)
+	data[len(data)/3] ^= 0x40
+	os.WriteFile(p, data, 0o644)
+	b, st2, err := CompileTrace(s, gen.Trace, gen.Snapshot, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Corrupt || st2.Hit || b == nil {
+		t.Fatalf("corrupt fallback stats: %+v", st2)
+	}
+	// The key is repopulated with a good artifact.
+	if _, _, err := s.Get(st.Key); err != nil {
+		t.Fatalf("repopulated Get: %v", err)
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	dir := t.TempDir()
+	gen := genBench(t)
+	b := mustCompile(t, gen)
+	var buf bytes.Buffer
+	if err := b.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	one := int64(buf.Len())
+	s, err := Open(dir, 3*one+one/2) // room for three artifacts, not four
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		Key([]byte("a"), nil, "linux", core.DefaultModes()),
+		Key([]byte("b"), nil, "linux", core.DefaultModes()),
+		Key([]byte("c"), nil, "linux", core.DefaultModes()),
+		Key([]byte("d"), nil, "linux", core.DefaultModes()),
+	}
+	for i, k := range keys[:3] {
+		if _, err := s.Put(k, b); err != nil {
+			t.Fatal(err)
+		}
+		// Space mtimes out so LRU order is unambiguous on coarse
+		// filesystems.
+		old := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(s.path(k), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch keys[0] via Get so it is the most recently used.
+	if _, _, err := s.Get(keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(keys[3], b); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(keys[1]); err != ErrMiss {
+		t.Fatalf("oldest unused entry survived eviction: %v", err)
+	}
+	if _, _, err := s.Get(keys[0]); err != nil {
+		t.Fatalf("recently used entry evicted: %v", err)
+	}
+	n, total, err := s.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total > 3*one+one/2 {
+		t.Fatalf("store over cap after eviction: %d entries, %d bytes", n, total)
+	}
+}
+
+func TestStaleTempFilesCleaned(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1) // tiny cap forces evict() to walk
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, ".put-stale")
+	if err := os.WriteFile(stale, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	os.Chtimes(stale, old, old)
+	gen := genBench(t)
+	if _, err := s.Put(Key([]byte("x"), nil, "linux", core.DefaultModes()), mustCompile(t, gen)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale temp file not cleaned")
+	}
+}
+
+func mustCompile(t *testing.T, gen *magritte.Generated) *artc.Benchmark {
+	t.Helper()
+	b, _, err := CompileTrace(nil, gen.Trace, gen.Snapshot, core.DefaultModes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -203,11 +203,68 @@ func DeltaRestore(sys *stack.System, prefix string, snap *Snapshot) (DeltaStats,
 	return st, nil
 }
 
+// quotePath renders a path for the text format: paths stay bare when
+// they contain no whitespace, quotes, backslashes, or control bytes —
+// keeping the format diff-friendly and old snapshot files parseable —
+// and switch to strconv.Quote form otherwise, so paths with spaces,
+// quotes, or newlines round-trip intact.
+func quotePath(p string) string {
+	for i := 0; i < len(p); i++ {
+		if c := p[i]; c <= ' ' || c == '"' || c == '\\' || c == 0x7f {
+			return strconv.Quote(p)
+		}
+	}
+	return p
+}
+
+// unquotePath reverses quotePath: tokens that begin with a double quote
+// are unquoted, anything else is taken literally.
+func unquotePath(tok string) (string, error) {
+	if strings.HasPrefix(tok, "\"") {
+		return strconv.Unquote(tok)
+	}
+	return tok, nil
+}
+
+// splitFields splits a snapshot line into tokens, keeping quoted
+// strings (which may contain spaces) intact.
+func splitFields(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		inQuote := false
+		for i < len(line) && (inQuote || line[i] != ' ') {
+			switch line[i] {
+			case '"':
+				inQuote = !inQuote
+			case '\\':
+				if inQuote && i+1 < len(line) {
+					i++
+				}
+			}
+			i++
+		}
+		if inQuote {
+			return nil, fmt.Errorf("unterminated quote")
+		}
+		out = append(out, line[start:i])
+	}
+	return out, nil
+}
+
 // Encode serializes the snapshot as text:
 //
 //	#artc-snapshot v1
 //	dir /a 0755
 //	file /a/b 1048576 0644
+//	file "/a/with space" 12 0644
 //	slink /l "/target"
 //	special /dev/urandom 1
 //	xattr /a/b "user.k" 32
@@ -219,13 +276,13 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	for _, e := range s.Entries {
 		switch e.Kind {
 		case KindDir:
-			fmt.Fprintf(bw, "dir %s %#o\n", e.Path, e.Mode)
+			fmt.Fprintf(bw, "dir %s %#o\n", quotePath(e.Path), e.Mode)
 		case KindFile:
-			fmt.Fprintf(bw, "file %s %d %#o\n", e.Path, e.Size, e.Mode)
+			fmt.Fprintf(bw, "file %s %d %#o\n", quotePath(e.Path), e.Size, e.Mode)
 		case KindSymlink:
-			fmt.Fprintf(bw, "slink %s %q\n", e.Path, e.Target)
+			fmt.Fprintf(bw, "slink %s %q\n", quotePath(e.Path), e.Target)
 		case KindSpecial:
-			fmt.Fprintf(bw, "special %s %d\n", e.Path, int(e.Kind2))
+			fmt.Fprintf(bw, "special %s %d\n", quotePath(e.Path), int(e.Kind2))
 		}
 		names := make([]string, 0, len(e.Xattrs))
 		for n := range e.Xattrs {
@@ -233,7 +290,7 @@ func (s *Snapshot) Encode(w io.Writer) error {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Fprintf(bw, "xattr %s %q %d\n", e.Path, n, e.Xattrs[n])
+			fmt.Fprintf(bw, "xattr %s %q %d\n", quotePath(e.Path), n, e.Xattrs[n])
 		}
 	}
 	return bw.Flush()
@@ -252,12 +309,19 @@ func Decode(r io.Reader) (*Snapshot, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		f := strings.Fields(line)
 		bad := func(msg string) error {
 			return fmt.Errorf("snapshot: line %d: %s (%q)", lineNo, msg, line)
 		}
+		f, err := splitFields(line)
+		if err != nil {
+			return nil, bad(err.Error())
+		}
 		if len(f) < 2 {
 			return nil, bad("too few fields")
+		}
+		p, err := unquotePath(f[1])
+		if err != nil {
+			return nil, bad("bad path")
 		}
 		switch f[0] {
 		case "dir":
@@ -269,8 +333,8 @@ func Decode(r io.Reader) (*Snapshot, error) {
 				}
 				mode = uint32(m)
 			}
-			byPath[f[1]] = len(snap.Entries)
-			snap.Entries = append(snap.Entries, Entry{Kind: KindDir, Path: f[1], Mode: mode})
+			byPath[p] = len(snap.Entries)
+			snap.Entries = append(snap.Entries, Entry{Kind: KindDir, Path: p, Mode: mode})
 		case "file":
 			if len(f) < 3 {
 				return nil, bad("file needs size")
@@ -287,8 +351,8 @@ func Decode(r io.Reader) (*Snapshot, error) {
 				}
 				mode = uint32(m)
 			}
-			byPath[f[1]] = len(snap.Entries)
-			snap.Entries = append(snap.Entries, Entry{Kind: KindFile, Path: f[1], Size: size, Mode: mode})
+			byPath[p] = len(snap.Entries)
+			snap.Entries = append(snap.Entries, Entry{Kind: KindFile, Path: p, Size: size, Mode: mode})
 		case "slink":
 			if len(f) < 3 {
 				return nil, bad("slink needs target")
@@ -297,8 +361,8 @@ func Decode(r io.Reader) (*Snapshot, error) {
 			if err != nil {
 				return nil, bad("bad target")
 			}
-			byPath[f[1]] = len(snap.Entries)
-			snap.Entries = append(snap.Entries, Entry{Kind: KindSymlink, Path: f[1], Target: target})
+			byPath[p] = len(snap.Entries)
+			snap.Entries = append(snap.Entries, Entry{Kind: KindSymlink, Path: p, Target: target})
 		case "special":
 			if len(f) < 3 {
 				return nil, bad("special needs kind")
@@ -307,13 +371,13 @@ func Decode(r io.Reader) (*Snapshot, error) {
 			if err != nil {
 				return nil, bad("bad special kind")
 			}
-			byPath[f[1]] = len(snap.Entries)
-			snap.Entries = append(snap.Entries, Entry{Kind: KindSpecial, Path: f[1], Kind2: stack.SpecialKind(k)})
+			byPath[p] = len(snap.Entries)
+			snap.Entries = append(snap.Entries, Entry{Kind: KindSpecial, Path: p, Kind2: stack.SpecialKind(k)})
 		case "xattr":
 			if len(f) < 4 {
 				return nil, bad("xattr needs name and size")
 			}
-			idx, ok := byPath[f[1]]
+			idx, ok := byPath[p]
 			if !ok {
 				return nil, bad("xattr for unknown path")
 			}

@@ -31,6 +31,7 @@ import (
 	"io"
 
 	"rootreplay/internal/artc"
+	"rootreplay/internal/artifact"
 	"rootreplay/internal/core"
 	"rootreplay/internal/sim"
 	"rootreplay/internal/snapshot"
@@ -120,8 +121,23 @@ func Compile(tr *Trace, snap *Snapshot, modes ModeSet) (*Benchmark, error) {
 	return artc.Compile(tr, snap, modes)
 }
 
-// DecodeBenchmark reads a benchmark file written by Benchmark.Encode.
-func DecodeBenchmark(r io.Reader) (*Benchmark, error) { return artc.Decode(r) }
+// DecodeBenchmark reads a benchmark file in either encoding: the text
+// format written by Benchmark.Encode or the binary artifact format
+// written by Benchmark.EncodeBinary.
+func DecodeBenchmark(r io.Reader) (*Benchmark, error) { return artc.DecodeAny(r) }
+
+// CompileTraceCached compiles through a content-addressed artifact
+// store: repeat compiles of the same trace/snapshot/modes load the
+// cached binary artifact instead of re-running analysis. An empty dir
+// selects the per-user default cache directory.
+func CompileTraceCached(dir string, tr *Trace, snap *Snapshot, modes ModeSet) (*Benchmark, error) {
+	s, err := artifact.Open(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	b, _, err := artifact.CompileTrace(s, tr, snap, modes)
+	return b, err
+}
 
 // DefaultConfig returns a Linux/ext4/HDD/CFQ machine.
 func DefaultConfig() Config { return stack.DefaultConfig() }

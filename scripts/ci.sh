@@ -3,10 +3,10 @@
 #
 #   scripts/ci.sh [lane] [tag] [prev]
 #
-#   lane  one of vet-race | determinism | ingest | shard | chaos | fuzz |
-#         bench, or "all" (the default). For backward compatibility a
-#         first argument that looks like a tag (pr5, v2, ...) selects
-#         "all" with that tag.
+#   lane  one of vet-race | determinism | ingest | shard | chaos | cache |
+#         fuzz | bench, or "all" (the default). For backward
+#         compatibility a first argument that looks like a tag
+#         (pr5, v2, ...) selects "all" with that tag.
 #   tag   perfstat snapshot tag; the bench lane writes BENCH_<tag>.json.
 #   prev  baseline BENCH_*.json for the benchcmp gate. When omitted, the
 #         newest BENCH_*.json other than the current tag's is used.
@@ -25,10 +25,10 @@ set -eu
 cd "$(dirname "$0")/.."
 
 lane="${1:-all}"
-tag="${2:-pr6}"
+tag="${2:-pr7}"
 prev="${3:-}"
 case "$lane" in
-  vet-race|determinism|ingest|shard|chaos|fuzz|bench|all) ;;
+  vet-race|determinism|ingest|shard|chaos|cache|fuzz|bench|all) ;;
   *) tag="$lane"; lane="all" ;;
 esac
 
@@ -105,9 +105,37 @@ chaos() {
   cmp "$tmp/chaos-a.json" "$tmp/chaos-b.json"
 }
 
+cache() {
+  go build -o "$tmp/artc" ./cmd/artc
+  echo "== cache: warm load is byte-identical to the cold compile"
+  "$tmp/artc" trace -magritte pages_docphoto15 -cache-dir "$tmp/cache" \
+    -o "$tmp/cache-cold.json" >/dev/null 2>"$tmp/cache-cold.err"
+  grep -q "cache: miss" "$tmp/cache-cold.err"
+  "$tmp/artc" trace -magritte pages_docphoto15 -cache-dir "$tmp/cache" \
+    -o "$tmp/cache-warm.json" >/dev/null 2>"$tmp/cache-warm.err"
+  grep -q "cache: hit" "$tmp/cache-warm.err"
+  cmp "$tmp/cache-cold.json" "$tmp/cache-warm.json"
+  echo "== cache: a bit-flipped artifact is detected and recompiled"
+  art="$(find "$tmp/cache" -name '*.artc' | head -n 1)"
+  dd if=/dev/zero of="$art" bs=1 seek=100 count=4 conv=notrunc 2>/dev/null
+  "$tmp/artc" trace -magritte pages_docphoto15 -cache-dir "$tmp/cache" \
+    -o "$tmp/cache-fixed.json" >/dev/null 2>"$tmp/cache-fixed.err"
+  grep -q "corrupt" "$tmp/cache-fixed.err"
+  cmp "$tmp/cache-cold.json" "$tmp/cache-fixed.json"
+  echo "== cache: a truncated binary artifact is rejected"
+  art="$(find "$tmp/cache" -name '*.artc' | head -n 1)"
+  head -c 200 "$art" > "$tmp/truncated.artc"
+  if "$tmp/artc" inspect -bench "$tmp/truncated.artc" 2>"$tmp/cache-trunc.err"; then
+    echo "truncated artifact was accepted" >&2; exit 1
+  fi
+  grep -qi "truncat" "$tmp/cache-trunc.err"
+}
+
 fuzz() {
   echo "== fuzz: 20s strace fast-lexer vs reference smoke"
   go test -run '^$' -fuzz 'FuzzStraceFastVsReference' -fuzztime 20s ./internal/trace/
+  echo "== fuzz: 20s binary artifact decoder smoke"
+  go test -run '^$' -fuzz 'FuzzDecodeBinary' -fuzztime 20s -fuzzminimizetime 5s ./internal/artc/
 }
 
 bench() {
@@ -130,7 +158,8 @@ case "$lane" in
   ingest)      ingest ;;
   shard)       shard ;;
   chaos)       chaos ;;
+  cache)       cache ;;
   fuzz)        fuzz ;;
   bench)       bench ;;
-  all)         vet_race; determinism; ingest; shard; chaos; fuzz; bench ;;
+  all)         vet_race; determinism; ingest; shard; chaos; cache; fuzz; bench ;;
 esac
