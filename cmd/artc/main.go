@@ -330,6 +330,10 @@ func replayCmd(args []string) error {
 	fullFsync := fs.Bool("osx-full-fsync", false, "use F_FULLFSYNC when emulating Linux fsync on OS X")
 	timeline := fs.Bool("timeline", false, "print a per-thread replay timeline (Figure 9 style)")
 	shards := fs.Int("shards", 0, "replay components in parallel with this worker bound (0 = serial replayer; -1 = GOMAXPROCS)")
+	sliceActions := fs.Int("slice-actions", 0, "with -shards: split components larger than this many actions along resource cuts (0 = off)")
+	sliceMax := fs.Int("slice-max", 0, "cap on slices per component (0 = no cap)")
+	sliceDevSync := fs.Bool("slice-device-sync", false, "let slicing cut fsync-heavy components (perf runs only: merged times reflect per-slice device queues, so output is no longer byte-identical to serial)")
+	warm := fs.Bool("warm", false, "pre-warm every replica's metadata and page caches (required for sliced-vs-serial byte identity)")
 	fs.Parse(args)
 	if *benchPath == "" {
 		return fmt.Errorf("-bench is required")
@@ -370,18 +374,32 @@ func replayCmd(args []string) error {
 		rep, st, err = artc.ReplaySharded(b, opts, artc.ShardOptions{
 			Shards: n,
 			Target: conf,
-			Init:   func(sys *stack.System) error { return artc.Init(sys, b, "") },
+			Init: func(sys *stack.System) error {
+				if err := artc.Init(sys, b, ""); err != nil {
+					return err
+				}
+				if *warm {
+					sys.WarmAll()
+				}
+				return nil
+			},
+			SliceActions:    *sliceActions,
+			SliceMax:        *sliceMax,
+			SliceDeviceSync: *sliceDevSync,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("sharded: components=%d clusters=%d cross-edges=%d largest=%d workers=%d\n",
-			st.Components, st.Clusters, st.CrossEdges, st.Largest, st.Shards)
+		fmt.Printf("sharded: components=%d clusters=%d cross-edges=%d largest=%d workers=%d sliced=%d synthetic=%d\n",
+			st.Components, st.Clusters, st.CrossEdges, st.Largest, st.Shards, st.Sliced, st.Synthetic)
 	} else {
 		k := sim.NewKernel()
 		sys := stack.New(k, conf)
 		if err := artc.Init(sys, b, ""); err != nil {
 			return err
+		}
+		if *warm {
+			sys.WarmAll()
 		}
 		rep, err = artc.Replay(sys, b, opts)
 		if err != nil {
@@ -424,7 +442,11 @@ func traceCmd(args []string) error {
 	spanCap := fs.Int("span-cap", 0, "span ring capacity (0 = default)")
 	critHops := fs.Int("crit-hops", 20, "critical-path rows to print (0 = all)")
 	quiet := fs.Bool("quiet", false, "suppress the text summary and critical path on stderr")
+	noSamples := fs.Bool("no-samples", false, "drop counter samples from the export (probes observe per-replica scheduler state, so sliced and serial sample streams differ even when the replay itself is byte-identical)")
 	shards := fs.Int("shards", 0, "replay components in parallel with this worker bound (0 = serial replayer; -1 = GOMAXPROCS)")
+	sliceActions := fs.Int("slice-actions", 0, "with -shards: split components larger than this many actions along resource cuts (0 = off)")
+	sliceMax := fs.Int("slice-max", 0, "cap on slices per component (0 = no cap)")
+	warm := fs.Bool("warm", false, "pre-warm every replica's metadata and page caches (required for sliced-vs-serial byte identity)")
 	cacheDir, noCache := cacheFlags(fs)
 	fs.Parse(args)
 
@@ -479,8 +501,16 @@ func traceCmd(args []string) error {
 			Shards: n,
 			Target: conf,
 			Init: func(sys *stack.System) error {
-				return magritte.InitTarget(sys, b, conf.Platform == stack.Linux)
+				if err := magritte.InitTarget(sys, b, conf.Platform == stack.Linux); err != nil {
+					return err
+				}
+				if *warm {
+					sys.WarmAll()
+				}
+				return nil
 			},
+			SliceActions: *sliceActions,
+			SliceMax:     *sliceMax,
 		})
 		if err != nil {
 			return err
@@ -491,11 +521,17 @@ func traceCmd(args []string) error {
 		if err := magritte.InitTarget(sys, b, conf.Platform == stack.Linux); err != nil {
 			return err
 		}
+		if *warm {
+			sys.WarmAll()
+		}
 		if rep, err = artc.Replay(sys, b, opts); err != nil {
 			return err
 		}
 	}
 
+	if *noSamples {
+		rec.ClearSamples()
+	}
 	w := os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
@@ -570,6 +606,8 @@ func chaosCmd(args []string) error {
 	out := fs.String("o", "", "write the first seed's export JSON (implies span recording)")
 	quiet := fs.Bool("quiet", false, "suppress per-seed summaries")
 	shards := fs.Int("shards", 0, "replay components in parallel with this worker bound (0 = serial replayer)")
+	sliceActions := fs.Int("slice-actions", 0, "with -shards: split components larger than this many actions along resource cuts (0 = off)")
+	sliceMax := fs.Int("slice-max", 0, "cap on slices per component (0 = no cap)")
 	cacheDir, noCache := cacheFlags(fs)
 	fs.Parse(args)
 
@@ -602,9 +640,11 @@ func chaosCmd(args []string) error {
 			Retry:    fault.RetryPlan{MaxAttempts: *retries},
 			Watchdog: *watchdog,
 		},
-		Verify: *verify,
-		Obs:    *out != "",
-		Shards: *shards,
+		Verify:   *verify,
+		Obs:      *out != "",
+		Shards:   *shards,
+		Slice:    *sliceActions,
+		SliceMax: *sliceMax,
 	}
 
 	var results []*chaostest.Result

@@ -37,9 +37,13 @@ var gatedMetrics = map[string]bool{
 	"kernel_sleep_churn_ns_per_op":     true,
 	"kernel_pingpong_ns_per_op":        true,
 	"kernel_completion_ns_per_op":      true,
+	"pipeline_replay_ns":               true,
+	"pipeline_sliced_ns":               true,
 	"records_per_second":               false,
 	"parse_records_per_second":         false,
 	"parse_sharded_records_per_second": false,
+	"shard_speedup":                    false,
+	"slice_speedup":                    false,
 }
 
 func load(path string) (map[string]interface{}, error) {

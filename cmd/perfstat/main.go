@@ -63,12 +63,26 @@ type Stats struct {
 	// Sharded replay over the components scale corpus (tracegen -family
 	// components): serial vs component-partitioned wall time on the same
 	// benchmark, the partition's shape, and the resulting speedup.
-	ComponentsRecords  int     `json:"components_records"`
-	ComponentsReplayNs int64   `json:"components_replay_ns"`
-	ReplayShardedNs    int64   `json:"replay_sharded_ns"`
-	ShardCount         int     `json:"shard_count"`
-	CrossEdges         int     `json:"cross_edges"`
-	ShardSpeedup       float64 `json:"shard_speedup"`
+	ComponentsRecords    int     `json:"components_records"`
+	ComponentsReplayNs   int64   `json:"components_replay_ns"`
+	ReplayShardedNs      int64   `json:"replay_sharded_ns"`
+	ShardCount           int     `json:"shard_count"`
+	CrossEdges           int     `json:"cross_edges"`
+	ShardSpeedup         float64 `json:"shard_speedup"`
+	ComponentsGoMaxProcs int     `json:"components_gomaxprocs"`
+	// Sliced replay over the pipeline corpus (tracegen -family pipeline):
+	// one weakly-connected component the partitioner cannot split, cut
+	// into 8 slices by resource-cut slicing and co-replayed under the
+	// epoch clock-exchange coordinator. Both sides replay with warmed
+	// caches (the device-independence precondition for sliced
+	// byte-identity), so the comparison isolates coordination cost.
+	PipelineRecords    int     `json:"pipeline_records"`
+	PipelineReplayNs   int64   `json:"pipeline_replay_ns"`
+	PipelineSlicedNs   int64   `json:"pipeline_sliced_ns"`
+	PipelineSlices     int     `json:"pipeline_slices"`
+	PipelineCrossEdges int     `json:"pipeline_cross_edges"`
+	SliceSpeedup       float64 `json:"slice_speedup"`
+	PipelineGoMaxProcs int     `json:"pipeline_gomaxprocs"`
 	// Observability: wall time of an obs-instrumented replay (the delta
 	// against ReplayNs is the recorder's enabled-path overhead), recorded
 	// volumes, and the replay's critical path.
@@ -89,6 +103,11 @@ type Stats struct {
 
 	GoVersion string `json:"go_version"`
 	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs is the effective GOMAXPROCS of the single-proc legacy
+	// sections above; the sharded sections record their own pinned
+	// values, making every measurement reproducible from the snapshot
+	// alone (NumCPU says what the host had, not what the run used).
+	GoMaxProcs int `json:"gomaxprocs"`
 }
 
 // measureComponents times the serial and sharded replayers over the
@@ -101,6 +120,7 @@ func measureComponents(st *Stats, n, ops int, skew float64, procs int) {
 	if procs > 0 {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
 	}
+	st.ComponentsGoMaxProcs = runtime.GOMAXPROCS(0)
 	tr, snap, err := workload.SynthComponents(workload.Components{N: n, Ops: ops, Skew: skew, Seed: 7})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "perfstat: components:", err)
@@ -144,6 +164,68 @@ func measureComponents(st *Stats, n, ops int, skew float64, procs int) {
 	}
 }
 
+// measurePipeline times the serial and sliced replayers over the
+// pipeline slicing corpus: a single weakly-connected component the
+// component partitioner keeps whole, split 8 ways along resource cuts.
+// The measured shape is the fsync-heavy writeback variant replayed
+// cold: serial fsync writeback scans the one machine's whole resident
+// cache while each slice replica scans only its own working set, the
+// same per-replica state reduction the components corpus measures.
+// Slicing it needs SliceDeviceSync, so this is a perf-only regime —
+// the byte-identity contract is asserted separately over warmed,
+// fsync-free corpora (internal/artc slice tests, Magritte suite).
+func measurePipeline(st *Stats, stages, ops, handoff, fsync, slices, procs int) {
+	if procs > 0 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	}
+	st.PipelineGoMaxProcs = runtime.GOMAXPROCS(0)
+	tr, snap, err := workload.SynthPipeline(workload.Pipeline{
+		Stages: stages, Ops: ops, Handoff: handoff, Fsync: fsync, FileBytes: 8 << 20, Seed: 7,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat: pipeline:", err)
+		os.Exit(1)
+	}
+	b, err := artc.Compile(tr, snap, core.DefaultModes())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat: pipeline compile:", err)
+		os.Exit(1)
+	}
+	st.PipelineRecords = len(tr.Records)
+	target := magritte.DefaultSuiteOptions().Target
+
+	t0 := time.Now()
+	k := sim.NewKernel()
+	sys := stack.New(k, target)
+	if err := artc.Init(sys, b, ""); err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat: pipeline init:", err)
+		os.Exit(1)
+	}
+	if _, err := artc.Replay(sys, b, artc.Options{}); err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat: pipeline replay:", err)
+		os.Exit(1)
+	}
+	st.PipelineReplayNs = time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	_, shst, err := artc.ReplaySharded(b, artc.Options{}, artc.ShardOptions{
+		Target:          target,
+		Init:            func(sys *stack.System) error { return artc.Init(sys, b, "") },
+		SliceActions:    len(tr.Records)/slices + 1,
+		SliceDeviceSync: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfstat: pipeline sliced replay:", err)
+		os.Exit(1)
+	}
+	st.PipelineSlicedNs = time.Since(t0).Nanoseconds()
+	st.PipelineSlices = shst.Components
+	st.PipelineCrossEdges = shst.CrossEdges
+	if st.PipelineSlicedNs > 0 {
+		st.SliceSpeedup = float64(st.PipelineReplayNs) / float64(st.PipelineSlicedNs)
+	}
+}
+
 // microbench runs fn through the testing harness and returns ns/op and
 // allocs/op.
 func microbench(fn func(b *testing.B)) (nsPerOp, allocsPerOp float64) {
@@ -163,6 +245,12 @@ func main() {
 	compN := flag.Int("components", 64, "components corpus group count")
 	compSkew := flag.Float64("components-skew", 0.5, "components corpus size skew")
 	compProcs := flag.Int("components-procs", 8, "GOMAXPROCS pinned for the components serial/sharded comparison (0 inherits)")
+	pipeOps := flag.Int("pipeline-ops", 16000, "pipeline corpus ops per stage (0 skips the sliced-replay measurement)")
+	pipeStages := flag.Int("pipeline-stages", 8, "pipeline corpus stage count")
+	pipeHandoff := flag.Int("pipeline-handoff", 64, "pipeline corpus ops between boundary exchanges")
+	pipeFsync := flag.Int("pipeline-fsync", 2, "pipeline corpus fsync interval in private write sessions (0 disables fsync)")
+	pipeSlices := flag.Int("pipeline-slices", 8, "slice count for the sliced pipeline replay")
+	pipeProcs := flag.Int("pipeline-procs", 8, "GOMAXPROCS pinned for the pipeline serial/sliced comparison (0 inherits)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
@@ -295,6 +383,7 @@ func main() {
 		CacheHit:       cacheHit,
 		GoVersion:      runtime.Version(),
 		NumCPU:         runtime.NumCPU(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
 	}
 	if perOp > 0 {
 		st.RecordsPerSecond = float64(st.Records) / (float64(perOp) / 1e9)
@@ -399,6 +488,9 @@ func main() {
 	if *compOps > 0 {
 		measureComponents(&st, *compN, *compOps, *compSkew, *compProcs)
 	}
+	if *pipeOps > 0 {
+		measurePipeline(&st, *pipeStages, *pipeOps, *pipeHandoff, *pipeFsync, *pipeSlices, *pipeProcs)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -428,9 +520,14 @@ func main() {
 		float64(st.ObsReplayNs)/1e6, float64(st.ReplayNs)/1e6, st.ObsSpans, st.ObsSamples,
 		st.CritPathHops, cp.InCall, cp.Slack)
 	if st.ComponentsRecords > 0 {
-		fmt.Printf("perfstat: components corpus %d records / %d shards (%d cross edges): serial %.0f ms, sharded %.0f ms (%.2fx)\n",
-			st.ComponentsRecords, st.ShardCount, st.CrossEdges,
+		fmt.Printf("perfstat: components corpus %d records / %d shards (%d cross edges, GOMAXPROCS=%d): serial %.0f ms, sharded %.0f ms (%.2fx)\n",
+			st.ComponentsRecords, st.ShardCount, st.CrossEdges, st.ComponentsGoMaxProcs,
 			float64(st.ComponentsReplayNs)/1e6, float64(st.ReplayShardedNs)/1e6, st.ShardSpeedup)
+	}
+	if st.PipelineRecords > 0 {
+		fmt.Printf("perfstat: pipeline corpus %d records / %d slices (%d cross edges, GOMAXPROCS=%d): serial %.0f ms, sliced %.0f ms (%.2fx)\n",
+			st.PipelineRecords, st.PipelineSlices, st.PipelineCrossEdges, st.PipelineGoMaxProcs,
+			float64(st.PipelineReplayNs)/1e6, float64(st.PipelineSlicedNs)/1e6, st.SliceSpeedup)
 	}
 	fmt.Printf("perfstat: kernel timer churn %.1f ns/op (%.0f allocs/op), sleep %.1f ns/op, ping-pong %.1f ns/op, completion %.1f ns/op\n",
 		st.KernelTimerChurnNsPerOp, st.KernelTimerChurnAllocsPerOp,

@@ -11,7 +11,11 @@
 // readrandom, magritte:<name>. The -family flag selects a direct
 // synthesizer instead: "components" emits the sharded-replay scale
 // corpus (mutually independent per-thread groups, -ops total
-// operations split across -components groups by -skew).
+// operations split across -components groups by -skew); "pipeline"
+// emits the resource-cut slicing corpus (-stages threads chained into
+// one component by shared handoff files exchanged every -handoff ops,
+// -ops operations per stage; -fsync N turns it into the fsync-heavy
+// writeback perf variant).
 package main
 
 import (
@@ -38,9 +42,13 @@ func main() {
 	records := flag.Int("records", 20000, "database records for readrandom")
 	scale := flag.Float64("scale", 0.01, "magritte trace scale")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
-	family := flag.String("family", "", `synthetic family ("components"); overrides -workload`)
+	family := flag.String("family", "", `synthetic family ("components" or "pipeline"); overrides -workload`)
 	comps := flag.Int("components", 16, "independent groups for -family components")
 	skew := flag.Float64("skew", 0, "component size skew for -family components (weight (c+1)^-skew)")
+	stages := flag.Int("stages", 8, "stage threads for -family pipeline")
+	handoff := flag.Int("handoff", 16, "ops between boundary-file exchanges for -family pipeline")
+	fsync := flag.Int("fsync", 0, "fsync every Nth private write for -family pipeline (0 = fsync-free, the byte-identity shape)")
+	fileMBFam := flag.Int64("family-file-mb", 0, "per-file size for -family pipeline (MiB; 0 = family default)")
 	out := flag.String("o", "out.trace", "output trace file")
 	snapOut := flag.String("snapshot", "out.snap", "output snapshot file")
 	format := flag.String("format", "native", "trace output format: native or strace")
@@ -49,25 +57,32 @@ func main() {
 	if *family != "" {
 		*wl = "family:" + *family
 	}
-	if err := run(*wl, *source, *threads, *ops, *fileMB, *records, *scale, *seed, *comps, *skew, *out, *snapOut, *format); err != nil {
+	if err := run(*wl, *source, *threads, *ops, *fileMB, *records, *scale, *seed, *comps, *skew, *stages, *handoff, *fsync, *fileMBFam, *out, *snapOut, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, source string, threads, ops int, fileMB int64, records int, scale float64, seed int64, comps int, skew float64, out, snapOut, format string) error {
+func run(wl, source string, threads, ops int, fileMB int64, records int, scale float64, seed int64, comps int, skew float64, stages, handoff, fsync int, fileMBFam int64, out, snapOut, format string) error {
 	var tr *trace.Trace
 	var snap *snapshot.Snapshot
 	var elapsed time.Duration
 
 	if name, ok := strings.CutPrefix(wl, "family:"); ok {
-		if name != "components" {
+		var err error
+		switch name {
+		case "components":
+			tr, snap, err = workload.SynthComponents(workload.Components{
+				N: comps, Ops: ops, Skew: skew, Seed: seed,
+			})
+		case "pipeline":
+			tr, snap, err = workload.SynthPipeline(workload.Pipeline{
+				Stages: stages, Ops: ops, Handoff: handoff, Fsync: fsync,
+				FileBytes: fileMBFam << 20, Seed: seed,
+			})
+		default:
 			return fmt.Errorf("unknown family %q", name)
 		}
-		var err error
-		tr, snap, err = workload.SynthComponents(workload.Components{
-			N: comps, Ops: ops, Skew: skew, Seed: seed,
-		})
 		if err != nil {
 			return err
 		}

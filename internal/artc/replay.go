@@ -660,6 +660,13 @@ func (rs *replayState) waitReason(idx int) string {
 // predelay, and executes it, releasing successor edges at issue and
 // completion.
 func (rs *replayState) playAction(t *sim.Thread, idx int) {
+	if rs.sub != nil {
+		// A sliced-off thread predecessor must complete before this
+		// action even begins its wait: the serial replayer's thread
+		// would not have arrived here yet. Runs before the wait-start
+		// sample so sliced spans open at the serial instant.
+		rs.sub.waitThreadPrev(rs, t, idx)
+	}
 	var waitStart time.Duration
 	if rs.obs != nil {
 		waitStart = rs.sys.K.Now() - rs.start
@@ -748,7 +755,7 @@ func (rs *replayState) playAction(t *sim.Thread, idx int) {
 			ReleasedBy: -1,
 		}
 		if rs.sub != nil {
-			sp.Shard = rs.sub.comp
+			sp.Shard = rs.sub.orig
 			rs.sub.fillReleasedBy(rs, idx, &sp)
 		} else if re := rs.releasedEdge[idx]; re >= 0 {
 			e := &rs.g.Edges[re]

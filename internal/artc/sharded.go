@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rootreplay/internal/core"
@@ -43,6 +44,23 @@ type ShardOptions struct {
 	// index and per-replica device state, independent of shard count.
 	// Options.Fault must be nil for a sharded replay.
 	Fault *fault.Plan
+	// SliceActions enables resource-cut slicing: components larger than
+	// this many actions are split along resource-series cuts
+	// (internal/shard.Slice) and the slices co-replay under the
+	// clock-exchange coordinator, with synthetic program-order edges
+	// restoring the traced threads' sequential order across cuts. Zero
+	// keeps components whole (the PR 6 behavior). Like Shards, the
+	// value changes the partition — and so which spans carry which
+	// slice-internal tie-breaks — but never the merged report.
+	SliceActions int
+	// SliceMax caps the slices per component (0 = no cap).
+	SliceMax int
+	// SliceDeviceSync lets slicing cut components containing fsync-family
+	// calls (shard.SliceOptions.AllowDeviceSync). The merged report stays
+	// deterministic but reflects per-slice device queues, so it is no
+	// longer byte-identical to serial Replay; perf measurements opt in,
+	// differential tests must not.
+	SliceDeviceSync bool
 }
 
 // ShardStats summarizes the partition a sharded replay executed.
@@ -59,6 +77,10 @@ type ShardStats struct {
 	Largest int
 	// Shards is the resolved worker bound.
 	Shards int
+	// Sliced counts components split by resource-cut slicing;
+	// Synthetic the program-order edges the splits created.
+	Sliced    int
+	Synthetic int
 }
 
 // infDur is the coordinator's "no constraint" time.
@@ -68,7 +90,11 @@ const infDur = time.Duration(math.MaxInt64)
 // index translations back to the whole trace plus the cross-edge
 // barrier wiring.
 type subState struct {
-	comp   int32
+	comp int32
+	// orig is the pre-slicing component index — what spans report as
+	// their shard, so a sliced single-component trace still attributes
+	// everything to component 0, like the serial replayer.
+	orig   int32
 	member int // cluster-local index, meaningful when coord != nil
 	// global maps local action indices to trace indices; edgeGlobal maps
 	// local graph edges to full-graph edges.
@@ -77,9 +103,16 @@ type subState struct {
 	full       *core.Graph
 	plan       *shard.Plan
 	// crossIn/crossOut hold, per local action, the inbound/outbound
-	// cross-component edges (full-graph indices, ascending).
+	// cross-component edges (full-graph indices, ascending; crossOut
+	// may also carry synthetic thread-adjacency edges, ids >=
+	// plan.EdgeBase).
 	crossIn  [][]int32
 	crossOut [][]int32
+	// threadPrevIn[i] is the synthetic program-order edge action i must
+	// await before anything else (-1 none; nil when the plan is
+	// unsliced): its traced thread's previous action completing on
+	// another slice.
+	threadPrevIn []int32
 	// crossWaitEdge[i] is the cross edge action i is currently parked
 	// on, -1 otherwise (stall reports read it).
 	crossWaitEdge []int32
@@ -89,6 +122,23 @@ type subState struct {
 	crossRelAt   []time.Duration
 	crossRelEdge []int32
 	coord        *clusterCoord
+	// pendingPub buffers this member's outbound publications between
+	// epochs; the pacer flushes it under one lock acquisition per clock
+	// advance. pubLocal mirrors published edges (dense cluster ids)
+	// delivered to this member, giving await a lock-free fast path;
+	// both are touched only from the member's own kernel goroutine.
+	pendingPub []pubRec
+	pubLocal   []time.Duration
+}
+
+// edgeKindOf returns a cross edge's kind; synthetic thread-adjacency
+// edges behave as WaitComplete (the successor waits for the
+// predecessor's completion).
+func (s *subState) edgeKindOf(ge int32) core.EdgeKind {
+	if int(ge) < len(s.full.Edges) {
+		return s.full.Edges[ge].Kind
+	}
+	return core.WaitComplete
 }
 
 // waitCross blocks action idx on its inbound cross-component edges, in
@@ -103,7 +153,7 @@ func (s *subState) waitCross(rs *replayState, t *sim.Thread, idx int) {
 	k := rs.sys.K
 	for _, ge := range ins {
 		s.crossWaitEdge[idx] = ge
-		v := s.coord.await(t, k, s.member, ge, func() string { return s.crossReason(idx) })
+		v := s.coord.await(t, k, s.member, ge, s.pubLocal, func() string { return s.crossReason(idx) })
 		if s.crossRelEdge != nil {
 			if best := s.crossRelEdge[idx]; best < 0 || v > s.crossRelAt[idx] {
 				s.crossRelAt[idx] = v
@@ -114,12 +164,37 @@ func (s *subState) waitCross(rs *replayState, t *sim.Thread, idx int) {
 	s.crossWaitEdge[idx] = -1
 }
 
-// publishCross publishes action idx's outbound cross edges of the given
-// kind at virtual time at.
+// waitThreadPrev blocks action idx until its traced thread's previous
+// action — replayed on another slice — completes, restoring the
+// program order the serial replayer enforces structurally by running
+// each traced thread on one replay thread. It runs before the span's
+// wait-start sample: the wake lands exactly at the predecessor's
+// completion time, which is when the serial thread would have arrived
+// here, so sliced spans open their wait window at the serial instant.
+// Synthetic edges never enter ReleasedBy attribution — the serial
+// graph has no such edge to attribute.
+func (s *subState) waitThreadPrev(rs *replayState, t *sim.Thread, idx int) {
+	if s.threadPrevIn == nil {
+		return
+	}
+	ge := s.threadPrevIn[idx]
+	if ge < 0 {
+		return
+	}
+	s.crossWaitEdge[idx] = ge
+	s.coord.await(t, rs.sys.K, s.member, ge, s.pubLocal, func() string { return s.crossReason(idx) })
+	s.crossWaitEdge[idx] = -1
+}
+
+// publishCross buffers action idx's outbound cross edges of the given
+// kind, satisfied at virtual time at, for the member's next epoch
+// flush. Buffering is safe because the member's clock only moves
+// through the pacer, which flushes first: no peer can be granted an
+// advance that should have seen a still-buffered publication.
 func (s *subState) publishCross(idx int, kind core.EdgeKind, at time.Duration) {
 	for _, ge := range s.crossOut[idx] {
-		if s.full.Edges[ge].Kind == kind {
-			s.coord.publish(ge, at)
+		if s.edgeKindOf(ge) == kind {
+			s.pendingPub = append(s.pendingPub, pubRec{edge: ge, v: at})
 		}
 	}
 }
@@ -160,6 +235,11 @@ func (s *subState) crossReason(idx int) string {
 	if ge < 0 {
 		return fmt.Sprintf("action %d: cross-shard barrier", s.global[idx])
 	}
+	if int(ge) >= len(s.full.Edges) {
+		te := s.plan.ThreadCross[ge-s.plan.EdgeBase]
+		return fmt.Sprintf("action %d: program-order barrier, awaiting action %d (slice %d)",
+			s.global[idx], te.From, s.plan.CompOf[te.From])
+	}
 	e := &s.full.Edges[ge]
 	return fmt.Sprintf("action %d: cross-shard barrier on edge %d, awaiting action %d (shard %d)",
 		s.global[idx], ge, e.From, s.plan.CompOf[e.From])
@@ -194,82 +274,236 @@ type injection struct {
 	w    *crossWaiter
 }
 
+// pubRec is one buffered outbound publication: a cross edge satisfied
+// at virtual time v, awaiting the owning member's next epoch flush.
+type pubRec struct {
+	edge int32
+	v    time.Duration
+}
+
+// delivery carries a flushed publication into a destination member's
+// lock-free mirror (drained under the lock inside that member's own
+// advance).
+type delivery struct {
+	dense int32
+	v     time.Duration
+}
+
+// coordEdge is one cross edge in cluster-dense form: source and
+// destination members plus the edge's slot in the destination's
+// per-source unpublished counts.
+type coordEdge struct {
+	src, dst int32
+	slot     int32
+}
+
+// unpubbed marks a dense edge (or mirror entry) not yet published.
+const unpubbed = time.Duration(-1)
+
 // clusterCoord synchronizes the virtual clocks of one cluster's
-// components. The protocol is conservative: a member may advance its
-// clock to T only if, for every inbound cross edge not yet published,
-// the source member's clock is strictly past T (so no publication with
-// a wake at or before T can still arrive). When every member is blocked
-// — the deterministic quiescent state — the member with the smallest
-// (target, member) pair is granted one advance, which resolves the
-// zero-lookahead cycles program-order chains create without giving up
-// determinism.
+// components with a batched, epoch-based exchange. The safety rule is
+// conservative and unchanged from the per-edge protocol: a member may
+// advance its clock to T only if, for every source it still has
+// unpublished inbound edges from, the source member's clock is
+// strictly past T (so no publication with a wake at or before T can
+// still arrive). What the epochs batch is everything around that rule:
+//
+//   - Publications buffer lock-free in the publishing member
+//     (subState.pendingPub) and flush under one lock acquisition when
+//     its pacer next runs — one exchange per clock advance. Buffering
+//     is sound because a member's clock only rises through the pacer,
+//     which flushes first; a peer granted an advance past T therefore
+//     cannot have missed a publication at or before T. At every
+//     quiescent window all buffers are empty, so grant decisions
+//     remain pure functions of the virtual execution.
+//   - The advance gate aggregates inbound edges into per-source
+//     unpublished counts: the check is O(sources), not O(edges), and
+//     a thousand program-order edges between two slices cost exactly
+//     one comparison.
+//   - Flushed publications are delivered to each destination's dense
+//     mirror, giving await a lock-free fast path for edges already
+//     satisfied in the member's past — the common case when slices
+//     stream through pre-sorted inbound schedules.
+//
+// When every member is blocked — the deterministic quiescent state —
+// the member with the smallest (target, member) pair is granted one
+// advance, which resolves the zero-lookahead cycles program-order
+// chains create without giving up determinism; the grant's broadcast
+// re-qualifies every member whose gate it opened, so one grant
+// typically releases a frontier, not a single edge.
 type clusterCoord struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
+	// conds[m] parks member m's pacer; wakes are targeted at the
+	// members an event can re-qualify (the destinations of a clock
+	// advance, a grant's recipient) instead of broadcast to the whole
+	// cluster — in a lockstepped slice chain, a broadcast wakes every
+	// member per batch and the spurious wake-ups dominate coordination
+	// cost on few-core hosts.
+	conds []*sync.Cond
 
 	// clock[m] is member m's latest granted advance target; state and
 	// target describe blocked members; granted marks one-shot stall
 	// grants; parked counts m's threads parked on cross edges.
-	clock   []time.Duration
-	state   []int
+	//
+	// clock, state, unpub, injN, and dead are atomics so the advance
+	// fast path can read them without the lock: each clock slot is
+	// written only by its owning member, and the rest are written under
+	// mu but read lock-free.
+	clock   []atomic.Int64
+	state   []atomic.Int32
 	target  []time.Duration
 	granted []bool
 	parked  []int
-	// inSrc lists each member's inbound cross edges with their source
-	// member; pub holds published edge satisfaction times; waiters the
-	// parked thread per unpublished awaited edge; inj the pending wakes
-	// per member, sorted by (at, edge).
-	inSrc   [][]edgeSrc
-	pub     map[int32]time.Duration
-	waiters map[int32]*crossWaiter
+
+	// inLock counts members inside the locked advance section
+	// (including cond.Wait). A fast-path clock store pairs a sequential
+	// load of inLock with the waiter's increment-before-recheck, so a
+	// member can never park against a clock value it hasn't seen — the
+	// classic store/load handshake that makes skipping the broadcast
+	// safe.
+	inLock atomic.Int32
+
+	// Dense cluster-local edge ids. denseOf is read-only after
+	// construction, so members may consult it without the lock.
+	denseOf map[int32]int32
+	edges   []coordEdge
+	pub     []time.Duration // dense id -> satisfaction time, unpubbed if not yet
+	waiters []*crossWaiter  // dense id -> parked thread, nil if none
+
+	// Per-member inbound summary: distinct source members (ascending)
+	// and, aligned with them, the count of still-unpublished inbound
+	// edges per source. dstsOf inverts srcsOf: the members whose advance
+	// gate reads m's clock, the wake set of m's clock advances.
+	srcsOf [][]int32
+	dstsOf [][]int32
+	unpub  [][]atomic.Int32
+
+	// deliver queues flushed publications for each member's mirror;
+	// inj the pending wakes per member, sorted by (at, edge); injN
+	// mirrors len(inj[m]) for lock-free emptiness checks.
+	deliver [][]delivery
 	inj     [][]injection
+	injN    []atomic.Int32
 
 	// dead aborts the cluster (peer failure or cross deadlock);
 	// deadlocked distinguishes the latter for error reporting.
-	dead       bool
+	dead       atomic.Bool
 	deadlocked bool
-}
-
-type edgeSrc struct {
-	edge int32
-	src  int
 }
 
 func newClusterCoord(plan *shard.Plan, cluster []int32) *clusterCoord {
 	n := len(cluster)
 	c := &clusterCoord{
-		clock:   make([]time.Duration, n),
-		state:   make([]int, n),
+		clock:   make([]atomic.Int64, n),
+		state:   make([]atomic.Int32, n),
 		target:  make([]time.Duration, n),
 		granted: make([]bool, n),
 		parked:  make([]int, n),
-		inSrc:   make([][]edgeSrc, n),
-		pub:     make(map[int32]time.Duration),
-		waiters: make(map[int32]*crossWaiter),
+		denseOf: make(map[int32]int32),
+		srcsOf:  make([][]int32, n),
+		dstsOf:  make([][]int32, n),
+		unpub:   make([][]atomic.Int32, n),
+		deliver: make([][]delivery, n),
 		inj:     make([][]injection, n),
+		injN:    make([]atomic.Int32, n),
 	}
-	c.cond = sync.NewCond(&c.mu)
-	memberOf := make(map[int32]int, n)
+	c.conds = make([]*sync.Cond, n)
+	for m := range c.conds {
+		c.conds[m] = sync.NewCond(&c.mu)
+	}
+	memberOf := make(map[int32]int32, n)
 	for m, comp := range cluster {
-		memberOf[comp] = m
+		memberOf[comp] = int32(m)
 	}
+	// First pass: the distinct sources of each member, ascending.
+	seen := make([]map[int32]bool, n)
 	for _, ce := range plan.Cross {
-		if m, ok := memberOf[ce.To]; ok {
-			c.inSrc[m] = append(c.inSrc[m], edgeSrc{edge: ce.Edge, src: memberOf[ce.From]})
+		dst, ok := memberOf[ce.To]
+		if !ok {
+			continue
 		}
+		src := memberOf[ce.From]
+		if seen[dst] == nil {
+			seen[dst] = make(map[int32]bool)
+		}
+		if !seen[dst][src] {
+			seen[dst][src] = true
+			c.srcsOf[dst] = append(c.srcsOf[dst], src)
+		}
+	}
+	slotOf := make([]map[int32]int32, n)
+	for m := 0; m < n; m++ {
+		sort.Slice(c.srcsOf[m], func(i, j int) bool { return c.srcsOf[m][i] < c.srcsOf[m][j] })
+		c.unpub[m] = make([]atomic.Int32, len(c.srcsOf[m]))
+		slotOf[m] = make(map[int32]int32, len(c.srcsOf[m]))
+		for k, src := range c.srcsOf[m] {
+			slotOf[m][src] = int32(k)
+			c.dstsOf[src] = append(c.dstsOf[src], int32(m))
+		}
+	}
+	// Second pass: dense ids in plan order (ascending edge id).
+	for _, ce := range plan.Cross {
+		dst, ok := memberOf[ce.To]
+		if !ok {
+			continue
+		}
+		src := memberOf[ce.From]
+		slot := slotOf[dst][src]
+		c.denseOf[ce.Edge] = int32(len(c.edges))
+		c.edges = append(c.edges, coordEdge{src: src, dst: dst, slot: slot})
+		c.pub = append(c.pub, unpubbed)
+		c.waiters = append(c.waiters, nil)
+		c.unpub[dst][slot].Add(1)
 	}
 	return c
 }
 
 // advance implements the pacer gate for member m (called in m's kernel
 // context). next is the kernel's earliest pending instant, or
-// sim.PacerIdle when only an injected wake can make progress.
-func (c *clusterCoord) advance(k *sim.Kernel, m int, next time.Duration) bool {
+// sim.PacerIdle when only an injected wake can make progress. pending
+// is the member's buffered publications — the epoch's outbound
+// exchange — and mirror its lock-free inbound view, refreshed here.
+func (c *clusterCoord) advance(k *sim.Kernel, m int, next time.Duration, pending []pubRec, mirror []time.Duration) bool {
+	// Lock-free fast path: nothing to publish, nothing queued for this
+	// member, and every gating source clock already strictly past the
+	// target. This is the overwhelmingly common case — a member's pacer
+	// fires on every event batch, while publications and cross-edge
+	// stalls happen only at slice boundaries — so the amortized cost of
+	// coordination is a few atomic loads per batch instead of a mutex
+	// handoff. Order matters: source clocks are read before injN, so if
+	// the clock read observes a source's advance, the injN read observes
+	// every injection that advance's flush queued (both are seq-cst, and
+	// flushes precede the clock store).
+	if len(pending) == 0 && next != sim.PacerIdle && !c.dead.Load() &&
+		c.allowedFast(m, next) && c.injN[m].Load() == 0 {
+		if int64(next) > c.clock[m].Load() {
+			c.clock[m].Store(int64(next))
+			// A member parks only inside the locked section, after
+			// bumping inLock and re-reading the clocks; seeing inLock==0
+			// here therefore proves no peer can have missed this store.
+			if c.inLock.Load() > 0 {
+				c.mu.Lock()
+				c.wakeDepsLocked(m)
+				c.mu.Unlock()
+			}
+		}
+		return false
+	}
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.inLock.Add(1)
+	defer c.inLock.Add(-1)
+	c.flushLocked(pending)
 	injected := false
 	for {
-		if c.dead {
+		if dl := c.deliver[m]; len(dl) > 0 {
+			for _, d := range dl {
+				mirror[d.dense] = d.v
+			}
+			c.deliver[m] = dl[:0]
+		}
+		if c.dead.Load() {
 			k.Stop()
 			return true
 		}
@@ -290,6 +524,7 @@ func (c *clusterCoord) advance(k *sim.Kernel, m int, next time.Duration) bool {
 			for len(c.inj[m]) > 0 && c.inj[m][0].at <= target {
 				in := c.inj[m][0]
 				c.inj[m] = c.inj[m][1:]
+				c.injN[m].Add(-1)
 				w := in.w
 				k.At(in.at, func() {
 					w.fired = true
@@ -298,43 +533,115 @@ func (c *clusterCoord) advance(k *sim.Kernel, m int, next time.Duration) bool {
 				injected = true
 			}
 			c.granted[m] = false
-			if target > c.clock[m] {
-				c.clock[m] = target
-				c.cond.Broadcast()
+			if int64(target) > c.clock[m].Load() {
+				c.clock[m].Store(int64(target))
+				c.wakeDepsLocked(m)
 			}
 			if next == sim.PacerIdle {
 				return true
 			}
 			return injected || target < next
 		}
-		c.state[m] = memberBlocked
+		c.state[m].Store(memberBlocked)
 		c.target[m] = target
 		c.checkStall()
 		// checkStall may have granted this very member (or declared the
 		// cluster dead): its broadcast fired before we could Wait, so
 		// re-evaluate instead of sleeping through our own wake-up.
-		if !c.granted[m] && !c.dead {
-			c.cond.Wait()
+		if !c.granted[m] && !c.dead.Load() {
+			c.conds[m].Wait()
 		}
-		c.state[m] = memberRunning
+		c.state[m].Store(memberRunning)
 	}
 }
 
-// allowed reports whether member m may advance its clock to target.
+// wakeDepsLocked signals every blocked member whose advance gate reads
+// m's state — the only members an advance, publication, or completion
+// of m can re-qualify. Called with the lock held.
+func (c *clusterCoord) wakeDepsLocked(m int) {
+	for _, d := range c.dstsOf[m] {
+		if c.state[d].Load() == memberBlocked {
+			c.conds[d].Signal()
+		}
+	}
+}
+
+// wakeAllLocked wakes the whole cluster (abort and deadlock paths).
+func (c *clusterCoord) wakeAllLocked() {
+	for _, cv := range c.conds {
+		cv.Signal()
+	}
+}
+
+// allowedFast is the advance gate evaluated lock-free: like allowed,
+// but reading the shared counters atomically and never consulting the
+// one-shot grant flag (a member outside the locked section cannot hold
+// a grant — grants go to blocked members and are consumed on wake).
+func (c *clusterCoord) allowedFast(m int, target time.Duration) bool {
+	for k, src := range c.srcsOf[m] {
+		if c.unpub[m][k].Load() == 0 {
+			continue
+		}
+		if c.state[src].Load() == memberDone {
+			continue
+		}
+		if c.clock[src].Load() <= int64(target) {
+			return false
+		}
+	}
+	return true
+}
+
+// flushLocked applies a member's buffered publications: the epoch
+// exchange. Called with the lock held.
+func (c *clusterCoord) flushLocked(pending []pubRec) {
+	if len(pending) == 0 {
+		return
+	}
+	for _, p := range pending {
+		dense := c.denseOf[p.edge]
+		if c.pub[dense] != unpubbed {
+			continue // an edge publishes exactly once
+		}
+		c.pub[dense] = p.v
+		e := c.edges[dense]
+		c.unpub[e.dst][e.slot].Add(-1)
+		c.deliver[e.dst] = append(c.deliver[e.dst], delivery{dense: dense, v: p.v})
+		if w := c.waiters[dense]; w != nil {
+			c.waiters[dense] = nil
+			at := p.v
+			if w.tPark > at {
+				at = w.tPark
+			}
+			c.addInj(int(w.m), at, p.edge, w)
+		}
+		// The publication can re-qualify only its destination: the
+		// unpublished count dropped (gate) and an injection may now
+		// bound its target.
+		if c.state[e.dst].Load() == memberBlocked {
+			c.conds[e.dst].Signal()
+		}
+	}
+}
+
+// allowed reports whether member m may advance its clock to target:
+// every source m still has unpublished inbound edges from must have a
+// clock strictly past target. O(distinct sources), independent of the
+// cross-edge count.
 func (c *clusterCoord) allowed(m int, target time.Duration) bool {
 	if c.granted[m] {
 		return true
 	}
-	for _, es := range c.inSrc[m] {
-		if _, ok := c.pub[es.edge]; ok {
+	for k, src := range c.srcsOf[m] {
+		if c.unpub[m][k].Load() == 0 {
 			continue
 		}
-		if c.state[es.src] == memberDone {
+		if c.state[src].Load() == memberDone {
 			// A finished source will never publish; the parked waiter is
 			// a deadlock, which idle detection reports.
 			continue
 		}
-		if c.clock[es.src] <= target {
+		if c.clock[src].Load() <= int64(target) {
 			return false
 		}
 	}
@@ -349,8 +656,8 @@ func (c *clusterCoord) allowed(m int, target time.Duration) bool {
 func (c *clusterCoord) checkStall() {
 	best := -1
 	var bestT time.Duration
-	for m, st := range c.state {
-		switch st {
+	for m := range c.state {
+		switch c.state[m].Load() {
 		case memberRunning:
 			return
 		case memberBlocked:
@@ -369,8 +676,8 @@ func (c *clusterCoord) checkStall() {
 		}
 	}
 	allDone := true
-	for _, st := range c.state {
-		if st != memberDone {
+	for m := range c.state {
+		if c.state[m].Load() != memberDone {
 			allDone = false
 			break
 		}
@@ -379,14 +686,14 @@ func (c *clusterCoord) checkStall() {
 		return
 	}
 	if best < 0 {
-		c.dead = true
+		c.dead.Store(true)
 		c.deadlocked = true
-		c.cond.Broadcast()
+		c.wakeAllLocked()
 		return
 	}
 	if !c.granted[best] {
 		c.granted[best] = true
-		c.cond.Broadcast()
+		c.conds[best].Signal()
 	}
 }
 
@@ -401,25 +708,33 @@ func (c *clusterCoord) addInj(m int, at time.Duration, edge int32, w *crossWaite
 	copy(lst[i+1:], lst[i:])
 	lst[i] = injection{at: at, edge: edge, w: w}
 	c.inj[m] = lst
+	c.injN[m].Add(1)
 }
 
 // await blocks the calling thread until edge is published, returning
 // the published satisfaction time. Called in member m's kernel context.
-func (c *clusterCoord) await(t *sim.Thread, k *sim.Kernel, m int, edge int32, reason func() string) time.Duration {
-	c.mu.Lock()
+// mirror is the member's lock-free publication view: an edge already
+// delivered there with a time at or before now needs no lock at all —
+// the conservative bound guarantees the publication was flushed before
+// m's clock could pass it, so the mirror entry is final.
+func (c *clusterCoord) await(t *sim.Thread, k *sim.Kernel, m int, edge int32, mirror []time.Duration, reason func() string) time.Duration {
+	dense := c.denseOf[edge]
 	now := k.Now()
-	if v, ok := c.pub[edge]; ok && v <= now {
-		// Satisfied in this member's past. The conservative bound
-		// guarantees the publication is already visible here: m could
-		// only reach now with the source clock past it.
+	if v := mirror[dense]; v != unpubbed && v <= now {
+		return v
+	}
+	c.mu.Lock()
+	if v := c.pub[dense]; v != unpubbed && v <= now {
+		// Satisfied in this member's past but not yet drained into the
+		// mirror (the delivery is queued for m's next advance).
 		c.mu.Unlock()
 		return v
 	}
 	w := &crossWaiter{th: t, m: m, tPark: now}
-	if v, ok := c.pub[edge]; ok {
+	if v := c.pub[dense]; v != unpubbed {
 		c.addInj(m, v, edge, w) // v > now: wake exactly at the edge time
 	} else {
-		c.waiters[edge] = w
+		c.waiters[dense] = w
 	}
 	c.parked[m]++
 	c.mu.Unlock()
@@ -428,36 +743,21 @@ func (c *clusterCoord) await(t *sim.Thread, k *sim.Kernel, m int, edge int32, re
 	}
 	c.mu.Lock()
 	c.parked[m]--
-	v := c.pub[edge]
+	v := c.pub[dense]
 	c.mu.Unlock()
 	return v
 }
 
-// publish records edge's satisfaction time and, if a thread is parked
-// on it, queues the wake for the waiter's own pacer to deliver.
-func (c *clusterCoord) publish(edge int32, v time.Duration) {
+// memberDone flushes member m's final publication buffer, marks it
+// finished (its clock no longer constrains anyone), and re-checks the
+// cluster for quiescence.
+func (c *clusterCoord) memberDone(m int, pending []pubRec) {
 	c.mu.Lock()
-	c.pub[edge] = v
-	if w := c.waiters[edge]; w != nil {
-		delete(c.waiters, edge)
-		at := v
-		if w.tPark > at {
-			at = w.tPark
-		}
-		c.addInj(w.m, at, edge, w)
-	}
-	c.cond.Broadcast()
-	c.mu.Unlock()
-}
-
-// memberDone marks member m finished (its clock no longer constrains
-// anyone) and re-checks the cluster for quiescence.
-func (c *clusterCoord) memberDone(m int) {
-	c.mu.Lock()
-	c.state[m] = memberDone
-	c.clock[m] = infDur
+	c.flushLocked(pending)
+	c.state[m].Store(memberDone)
+	c.clock[m].Store(int64(infDur))
 	c.checkStall()
-	c.cond.Broadcast()
+	c.wakeDepsLocked(m)
 	c.mu.Unlock()
 }
 
@@ -465,21 +765,29 @@ func (c *clusterCoord) memberDone(m int) {
 // their kernels at the next advance.
 func (c *clusterCoord) abort() {
 	c.mu.Lock()
-	if !c.dead {
-		c.dead = true
-		c.cond.Broadcast()
+	if !c.dead.Load() {
+		c.dead.Store(true)
+		c.wakeAllLocked()
 	}
 	c.mu.Unlock()
 }
 
 // shardPacer adapts a cluster coordinator to one kernel's Pacer hook.
+// Each advance is one epoch boundary: the member's buffered outbound
+// publications are swapped out and handed to the coordinator for a
+// single batched exchange.
 type shardPacer struct {
-	c *clusterCoord
-	k *sim.Kernel
-	m int
+	c   *clusterCoord
+	k   *sim.Kernel
+	m   int
+	sub *subState
 }
 
-func (p *shardPacer) Advance(next time.Duration) bool { return p.c.advance(p.k, p.m, next) }
+func (p *shardPacer) Advance(next time.Duration) bool {
+	pending := p.sub.pendingPub
+	p.sub.pendingPub = pending[:0]
+	return p.c.advance(p.k, p.m, next, pending, p.sub.pubLocal)
+}
 
 // compiledShard is one component's replay unit: a sub-benchmark whose
 // records, actions, and touch plans are dense contiguous copies of the
@@ -491,6 +799,12 @@ type compiledShard struct {
 	b       *Benchmark
 	g       *core.Graph
 	sub     *subState
+	// predelay is the full-trace inter-arrival gap of each member action,
+	// mapped to local indices. A sliced thread's actions live on several
+	// shards, so a per-shard computePredelay over the sub-trace would see
+	// gaps spanning the missing siblings; the full-trace values are the
+	// serial replayer's, always.
+	predelay []time.Duration
 	// rec is the per-component span/sample recorder (nil without obs);
 	// rs is filled once the member's kernel has run.
 	rec *obs.Recorder
@@ -524,19 +838,32 @@ func buildShards(b *Benchmark, g *core.Graph, plan *shard.Plan, obsOn bool) []*c
 		})
 		edgeGlobalOf[cf] = append(edgeGlobalOf[cf], int32(ei))
 	}
+	fullPredelay := computePredelay(b.Trace)
 	shards := make([]*compiledShard, nc)
 	for ci := range plan.Components {
 		shards[ci] = buildOneShard(b, g, plan, int32(ci), localOf, edgesOf[ci], edgeGlobalOf[ci], obsOn)
+		cs := shards[ci]
+		cs.predelay = make([]time.Duration, len(cs.members))
+		for li, gidx := range cs.members {
+			cs.predelay[li] = fullPredelay[gidx]
+		}
 	}
 	// Cross-edge wiring, one pass over the registered cross list.
+	// Synthetic thread-adjacency edges route to the destination's
+	// threadPrevIn slot (awaited before the span's wait-start sample,
+	// not with the graph cross edges); each action has at most one.
 	for _, ce := range plan.Cross {
-		e := &g.Edges[ce.Edge]
-		to := shards[ce.To].sub
-		li := localOf[e.To]
-		to.crossIn[li] = append(to.crossIn[li], ce.Edge)
-		from := shards[ce.From].sub
-		lo := localOf[e.From]
-		from.crossOut[lo] = append(from.crossOut[lo], ce.Edge)
+		from, to := plan.EdgeEnds(g, ce.Edge)
+		dst := shards[ce.To].sub
+		li := localOf[to]
+		if int(ce.Edge) >= len(g.Edges) {
+			dst.threadPrevIn[li] = ce.Edge
+		} else {
+			dst.crossIn[li] = append(dst.crossIn[li], ce.Edge)
+		}
+		src := shards[ce.From].sub
+		lo := localOf[from]
+		src.crossOut[lo] = append(src.crossOut[lo], ce.Edge)
 	}
 	return shards
 }
@@ -575,6 +902,7 @@ func buildOneShard(b *Benchmark, g *core.Graph, plan *shard.Plan, comp int32,
 	}
 	sub := &subState{
 		comp:          comp,
+		orig:          comp,
 		global:        members,
 		edgeGlobal:    edgeGlobal,
 		full:          g,
@@ -582,6 +910,13 @@ func buildOneShard(b *Benchmark, g *core.Graph, plan *shard.Plan, comp int32,
 		crossIn:       make([][]int32, m),
 		crossOut:      make([][]int32, m),
 		crossWaitEdge: make([]int32, m),
+	}
+	if plan.Orig != nil {
+		sub.orig = plan.Orig[comp]
+		sub.threadPrevIn = make([]int32, m)
+		for i := range sub.threadPrevIn {
+			sub.threadPrevIn[i] = -1
+		}
 	}
 	for i := range sub.crossWaitEdge {
 		sub.crossWaitEdge[i] = -1
@@ -652,16 +987,22 @@ func runMember(cs *compiledShard, opts Options, so ShardOptions, coord *clusterC
 		opts2.Obs = cs.rec
 	}
 	rs := newReplayState(sys, cs.b, opts2, cs.g)
+	rs.predelay = cs.predelay
 	rs.sub = cs.sub
 	rs.sub.member = mi
 	rs.sub.coord = coord
 	if coord != nil {
-		k.SetPacer(&shardPacer{c: coord, k: k, m: mi})
+		cs.sub.pubLocal = make([]time.Duration, len(coord.edges))
+		for i := range cs.sub.pubLocal {
+			cs.sub.pubLocal[i] = unpubbed
+		}
+		k.SetPacer(&shardPacer{c: coord, k: k, m: mi, sub: cs.sub})
 	}
 	rs.spawnThreads()
 	runErr := k.Run()
 	if coord != nil {
-		coord.memberDone(mi)
+		coord.memberDone(mi, cs.sub.pendingPub)
+		cs.sub.pendingPub = nil
 	}
 	cs.rs = rs
 	if ferr := rs.finishSub(); ferr != nil {
@@ -758,6 +1099,12 @@ func ReplaySharded(b *Benchmark, opts Options, so ShardOptions) (*Report, *Shard
 		return nil, nil, err
 	}
 	plan := shard.Partition(b.Analysis, g)
+	if so.SliceActions > 0 {
+		plan = shard.Slice(b.Analysis, g, plan, shard.SliceOptions{
+			MaxActions: so.SliceActions, MaxSlices: so.SliceMax,
+			AllowDeviceSync: so.SliceDeviceSync,
+		})
+	}
 	clusters := plan.Clusters()
 	workers := so.Shards
 	if workers <= 0 {
@@ -770,6 +1117,8 @@ func ReplaySharded(b *Benchmark, opts Options, so ShardOptions) (*Report, *Shard
 		CrossEdges: pst.CrossEdges,
 		Largest:    pst.Largest,
 		Shards:     workers,
+		Sliced:     pst.Sliced,
+		Synthetic:  pst.Synthetic,
 	}
 	shards := buildShards(b, g, plan, opts.Obs != nil)
 	if err := par.ForEachN(len(clusters), workers, func(ci int) error {
@@ -870,12 +1219,26 @@ func mergeReports(b *Benchmark, g *core.Graph, shards []*compiledShard, opts Opt
 		for _, cs := range shards {
 			spans = append(spans, cs.rec.Spans()...)
 		}
-		sort.SliceStable(spans, func(i, j int) bool {
-			if spans[i].Done != spans[j].Done {
-				return spans[i].Done < spans[j].Done
-			}
-			return spans[i].Shard < spans[j].Shard
-		})
+		sliced := len(shards) > 0 && shards[0].sub.plan.Sliced()
+		if sliced {
+			// Slices of one original component share a Shard value, so
+			// the unsliced (Done, Shard) interleave cannot order their
+			// same-instant spans; (Done, Action) is the canonical order
+			// WriteChrome also applies to the serial stream.
+			sort.Slice(spans, func(i, j int) bool {
+				if spans[i].Done != spans[j].Done {
+					return spans[i].Done < spans[j].Done
+				}
+				return spans[i].Action < spans[j].Action
+			})
+		} else {
+			sort.SliceStable(spans, func(i, j int) bool {
+				if spans[i].Done != spans[j].Done {
+					return spans[i].Done < spans[j].Done
+				}
+				return spans[i].Shard < spans[j].Shard
+			})
+		}
 		for _, sp := range spans {
 			opts.Obs.Record(sp)
 		}
@@ -906,6 +1269,14 @@ func mergeReports(b *Benchmark, g *core.Graph, shards []*compiledShard, opts Opt
 		// the full graph, cross-component ones included.
 		if err := g.ValidateOrder(rep.IssueAt, rep.DoneAt); err != nil {
 			return nil, fmt.Errorf("artc: sharded self-check failed: %w", err)
+		}
+		if len(shards) > 0 {
+			for i, te := range shards[0].sub.plan.ThreadCross {
+				if rep.IssueAt[te.To] < rep.DoneAt[te.From] {
+					return nil, fmt.Errorf("artc: sharded self-check failed: synthetic edge %d: action %d issued at %v before predecessor %d done at %v",
+						i, te.To, rep.IssueAt[te.To], te.From, rep.DoneAt[te.From])
+				}
+			}
 		}
 	}
 	return rep, nil

@@ -65,6 +65,30 @@ func TestSweepInvariantsHold(t *testing.T) {
 	}
 }
 
+// A sliced sharded sweep — the clock-exchange coordinator under random
+// faults — must uphold the same invariants at every shard count,
+// including per-seed bit-reproducibility.
+func TestSweepSlicedInvariantsHold(t *testing.T) {
+	b := compileSmall(t)
+	for _, shards := range []int{1, 2, 4, 8} {
+		opts := Options{
+			Bench:  b,
+			Target: magritte.DefaultSuiteOptions().Target,
+			Plan:   chaosPlan(),
+			Verify: true,
+			Obs:    true,
+			Shards: shards,
+			Slice:  len(b.Trace.Records)/4 + 1,
+		}
+		for _, res := range Sweep(opts, Seeds(1, 2)) {
+			if !res.OK() {
+				t.Fatalf("shards=%d %s:\n%s", shards, res.String(),
+					strings.Join(res.Violations, "\n"))
+			}
+		}
+	}
+}
+
 // The export must be byte-identical across two independent runs of the
 // same seed, and must parse as one JSON document.
 func TestExportBitReproducible(t *testing.T) {

@@ -223,6 +223,20 @@ func (r *Recorder) Samples() []Sample {
 	return out
 }
 
+// ClearSamples discards the recorded counter samples (spans are kept).
+// Counter probes observe per-replica scheduler and device state, so a
+// sliced replay's samples legitimately differ from a serial run's;
+// differential byte comparisons drop them before exporting.
+func (r *Recorder) ClearSamples() {
+	if r == nil {
+		return
+	}
+	r.samples = r.samples[:0]
+	r.sampleHead, r.sampleDrop = 0, 0
+	r.lastVal = [numCounters]float64{}
+	r.lastValid = [numCounters]bool{}
+}
+
 // Dropped reports how many spans and samples were overwritten by ring
 // wrap-around.
 func (r *Recorder) Dropped() (spans, samples int) {

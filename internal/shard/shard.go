@@ -37,6 +37,16 @@ type CrossEdge struct {
 	From, To int32
 }
 
+// ThreadEdge is one synthetic program-order edge created by slicing:
+// From and To are consecutive actions of one traced thread placed on
+// different slices, so the thread's sequential order — enforced
+// structurally when the thread replays whole — must be enforced by a
+// clock-exchange barrier instead. The edge behaves like a WaitComplete
+// edge: To may not start before From completes.
+type ThreadEdge struct {
+	From, To int32
+}
+
 // Plan is a partition of a graph's actions into replica-isolated
 // components plus the explicit cross-component edges.
 type Plan struct {
@@ -48,7 +58,34 @@ type Plan struct {
 	// CompOf maps each action to its component index.
 	CompOf []int32
 	// Cross lists every cross-component edge, ordered by edge index.
+	// Entries with Edge >= EdgeBase are synthetic thread-adjacency edges
+	// (see ThreadCross); the rest index the graph's Edges slice.
 	Cross []CrossEdge
+	// Orig maps each component to the resource-closure component it was
+	// cut from; nil when no component was sliced. Replay reporting uses
+	// it so a sliced single-component trace still attributes every span
+	// to component 0, exactly like the serial replayer.
+	Orig []int32
+	// EdgeBase is the graph's edge count when slicing ran; synthetic
+	// edge i is identified as EdgeBase+i across the plan.
+	EdgeBase int32
+	// ThreadCross lists the synthetic program-order edges slicing
+	// created, in ascending To order.
+	ThreadCross []ThreadEdge
+}
+
+// Sliced reports whether resource-cut slicing split any component.
+func (p *Plan) Sliced() bool { return p.Orig != nil }
+
+// EdgeEnds returns the action endpoints of a cross edge, synthetic or
+// not.
+func (p *Plan) EdgeEnds(g *core.Graph, edge int32) (from, to int32) {
+	if int(edge) < len(g.Edges) {
+		e := &g.Edges[edge]
+		return int32(e.From), int32(e.To)
+	}
+	te := p.ThreadCross[edge-p.EdgeBase]
+	return te.From, te.To
 }
 
 // Stats summarizes a plan for reporting.
@@ -57,14 +94,29 @@ type Stats struct {
 	CrossEdges int
 	// Largest is the action count of the biggest component.
 	Largest int
+	// Sliced counts resource-closure components that were split;
+	// Synthetic the thread-adjacency edges the splits created.
+	Sliced    int
+	Synthetic int
 }
 
 // Stats computes summary counts.
 func (p *Plan) Stats() Stats {
-	st := Stats{Components: len(p.Components), CrossEdges: len(p.Cross)}
+	st := Stats{Components: len(p.Components), CrossEdges: len(p.Cross), Synthetic: len(p.ThreadCross)}
 	for _, c := range p.Components {
 		if len(c) > st.Largest {
 			st.Largest = len(c)
+		}
+	}
+	if p.Orig != nil {
+		slices := make(map[int32]int)
+		for _, o := range p.Orig {
+			slices[o]++
+		}
+		for _, n := range slices {
+			if n > 1 {
+				st.Sliced++
+			}
 		}
 	}
 	return st
@@ -131,6 +183,58 @@ func Partition(an *core.Analysis, g *core.Graph) *Plan {
 		lastOfTID[tid] = int32(i)
 	}
 
+	resourceClosure(u, an, g)
+
+	// Number components by smallest member (== first root encountered in
+	// trace order) and gather members in trace order.
+	compOf := make([]int32, n)
+	rootComp := make(map[int32]int32)
+	var sizes []int32
+	for i := 0; i < n; i++ {
+		r := u.find(int32(i))
+		c, ok := rootComp[r]
+		if !ok {
+			c = int32(len(sizes))
+			rootComp[r] = c
+			sizes = append(sizes, 0)
+		}
+		compOf[i] = c
+		sizes[c]++
+	}
+	components := make([][]int32, len(sizes))
+	for c, sz := range sizes {
+		components[c] = make([]int32, 0, sz)
+	}
+	for i := 0; i < n; i++ {
+		c := compOf[i]
+		components[c] = append(components[c], int32(i))
+	}
+
+	var cross []CrossEdge
+	for ei := range g.Edges {
+		e := &g.Edges[ei]
+		cf, ct := compOf[e.From], compOf[e.To]
+		if cf == ct {
+			continue
+		}
+		if !crossEligible(e) {
+			// Rules (b)-(d) united the endpoints of every stateful edge;
+			// a stateful edge crossing components is a partition bug.
+			panic("shard: stateful edge crosses components")
+		}
+		cross = append(cross, CrossEdge{Edge: int32(ei), From: cf, To: ct})
+	}
+
+	return &Plan{N: n, Components: components, CompOf: compOf, Cross: cross}
+}
+
+// resourceClosure applies the stateful union rules (b)-(d) — everything
+// except thread membership — to u. It is shared by Partition and the
+// slicer's atom computation: an atom is the resource closure of an
+// action without the thread rule, so two atoms share no file-system
+// state and can replay on separate replicas even when one traced thread
+// spans both.
+func resourceClosure(u *uf, an *core.Analysis, g *core.Graph) {
 	// (b) Stateful dependency edges.
 	for ei := range g.Edges {
 		e := &g.Edges[ei]
@@ -198,48 +302,6 @@ func Partition(an *core.Analysis, g *core.Graph) *Plan {
 			}
 		}
 	}
-
-	// Number components by smallest member (== first root encountered in
-	// trace order) and gather members in trace order.
-	compOf := make([]int32, n)
-	rootComp := make(map[int32]int32)
-	var sizes []int32
-	for i := 0; i < n; i++ {
-		r := u.find(int32(i))
-		c, ok := rootComp[r]
-		if !ok {
-			c = int32(len(sizes))
-			rootComp[r] = c
-			sizes = append(sizes, 0)
-		}
-		compOf[i] = c
-		sizes[c]++
-	}
-	components := make([][]int32, len(sizes))
-	for c, sz := range sizes {
-		components[c] = make([]int32, 0, sz)
-	}
-	for i := 0; i < n; i++ {
-		c := compOf[i]
-		components[c] = append(components[c], int32(i))
-	}
-
-	var cross []CrossEdge
-	for ei := range g.Edges {
-		e := &g.Edges[ei]
-		cf, ct := compOf[e.From], compOf[e.To]
-		if cf == ct {
-			continue
-		}
-		if !crossEligible(e) {
-			// Rules (b)-(d) united the endpoints of every stateful edge;
-			// a stateful edge crossing components is a partition bug.
-			panic("shard: stateful edge crosses components")
-		}
-		cross = append(cross, CrossEdge{Edge: int32(ei), From: cf, To: ct})
-	}
-
-	return &Plan{N: n, Components: components, CompOf: compOf, Cross: cross}
 }
 
 // Clusters groups components that are connected through cross edges.

@@ -13,10 +13,11 @@
 #
 # Lanes: vet-race (go vet + race-enabled tests), determinism
 # (byte-identical trace export under forced parallelism), ingest
-# (sequential and sharded strace parses agree), shard (sharded replay
-# matches serial byte for byte across GOMAXPROCS and shard counts, the
-# components family spec regenerates exactly, and the chaos invariants
-# hold through the sharded replayer), chaos (seeded fault sweep with
+# (sequential and sharded strace parses agree), shard (sharded and
+# sliced replay match serial byte for byte across GOMAXPROCS, shard
+# counts, and slice granularities, the components and pipeline family
+# specs regenerate exactly, and the chaos invariants hold through the
+# sharded replayer), chaos (seeded fault sweep with
 # per-seed verification plus a single-seed bit-repro check),
 # fuzz (a short strace-lexer fuzz smoke), bench (perfstat snapshot and
 # the benchcmp regression gate).
@@ -25,7 +26,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 lane="${1:-all}"
-tag="${2:-pr7}"
+tag="${2:-pr8}"
 prev="${3:-}"
 case "$lane" in
   vet-race|determinism|ingest|shard|chaos|cache|fuzz|bench|all) ;;
@@ -73,8 +74,9 @@ ingest() {
 
 shard() {
   echo "== shard: property + differential tests under -race"
-  GOMAXPROCS=8 go test -race -count=1 -run 'Partition|Sharded|ComponentsFamily' \
-    ./internal/shard/ ./internal/artc/ ./internal/magritte/ ./internal/workload/
+  GOMAXPROCS=8 go test -race -count=1 -run 'Partition|Sharded|Sliced|ComponentsFamily|PipelineFamily' \
+    ./internal/shard/ ./internal/artc/ ./internal/magritte/ ./internal/workload/ \
+    ./internal/fault/chaostest/
   go build -o "$tmp/artc" ./cmd/artc
   go build -o "$tmp/tracegen" ./cmd/tracegen
   echo "== shard: sharded trace export matches serial at GOMAXPROCS=1/2/8"
@@ -90,9 +92,26 @@ shard() {
   "$tmp/tracegen" -family components -components 5 -ops 200 -skew 0.5 -seed 11 \
     -o "$tmp/components.trace" -snapshot "$tmp/components.snap"
   cmp internal/workload/testdata/components_small.trace "$tmp/components.trace"
+  echo "== shard: pipeline family spec regenerates byte for byte"
+  "$tmp/tracegen" -family pipeline -stages 4 -ops 200 -handoff 16 -seed 11 \
+    -o "$tmp/pipeline.trace" -snapshot "$tmp/pipeline.snap"
+  cmp internal/workload/testdata/pipeline_small.trace "$tmp/pipeline.trace"
+  echo "== shard: sliced pipeline export matches serial across shard counts"
+  "$tmp/artc" compile -trace "$tmp/pipeline.trace" -snapshot "$tmp/pipeline.snap" \
+    -o "$tmp/pipeline.bench"
+  "$tmp/artc" trace -bench "$tmp/pipeline.bench" -warm -no-samples -quiet \
+    -o "$tmp/slice-serial.json"
+  for n in 1 2 4 8; do
+    GOMAXPROCS=8 "$tmp/artc" trace -bench "$tmp/pipeline.bench" -shards $n \
+      -slice-actions 700 -warm -no-samples -quiet -o "$tmp/slice-$n.json"
+    cmp "$tmp/slice-serial.json" "$tmp/slice-$n.json"
+  done
   echo "== shard: chaos invariants hold through the sharded replayer"
   GOMAXPROCS=8 "$tmp/artc" chaos -magritte pages_docphoto15 -gen-scale 0.01 \
     -seeds 8 -verify -shards 4
+  echo "== shard: chaos invariants hold through the sliced replayer"
+  GOMAXPROCS=8 "$tmp/artc" chaos -magritte pages_docphoto15 -gen-scale 0.01 \
+    -seeds 4 -verify -shards 4 -slice-actions 500
 }
 
 chaos() {
