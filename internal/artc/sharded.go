@@ -470,10 +470,15 @@ func (c *clusterCoord) advance(k *sim.Kernel, m int, next time.Duration, pending
 	// fires on every event batch, while publications and cross-edge
 	// stalls happen only at slice boundaries — so the amortized cost of
 	// coordination is a few atomic loads per batch instead of a mutex
-	// handoff. Order matters: source clocks are read before injN, so if
-	// the clock read observes a source's advance, the injN read observes
-	// every injection that advance's flush queued (both are seq-cst, and
-	// flushes precede the clock store).
+	// handoff. Order matters, in two pairs (all loads and stores here
+	// are seq-cst): source clocks are read before injN, so if the clock
+	// read observes a source's advance, the injN read observes every
+	// injection that advance's flush queued (flushes precede the clock
+	// store); and unpublished counts are read (in allowedFast) before
+	// injN, pairing with flushLocked's queue-injection-then-decrement
+	// order, so a zeroed count that bypasses the source-clock gate
+	// implies any waiter injection from that final publication is
+	// already visible.
 	if len(pending) == 0 && next != sim.PacerIdle && !c.dead.Load() &&
 		c.allowedFast(m, next) && c.injN[m].Load() == 0 {
 		if int64(next) > c.clock[m].Load() {
@@ -605,7 +610,6 @@ func (c *clusterCoord) flushLocked(pending []pubRec) {
 		}
 		c.pub[dense] = p.v
 		e := c.edges[dense]
-		c.unpub[e.dst][e.slot].Add(-1)
 		c.deliver[e.dst] = append(c.deliver[e.dst], delivery{dense: dense, v: p.v})
 		if w := c.waiters[dense]; w != nil {
 			c.waiters[dense] = nil
@@ -615,6 +619,14 @@ func (c *clusterCoord) flushLocked(pending []pubRec) {
 			}
 			c.addInj(int(w.m), at, p.edge, w)
 		}
+		// The unpublished count drops only after the waiter's injection
+		// is queued (injN bumped): allowedFast skips the source-clock
+		// gate on a zeroed count, so a fast-path advance that observes
+		// the decrement must — both atomics are seq-cst, and the fast
+		// path loads unpub before injN — also observe the injection and
+		// fall into the locked slow path, instead of advancing its clock
+		// past a wake in its virtual past.
+		c.unpub[e.dst][e.slot].Add(-1)
 		// The publication can re-qualify only its destination: the
 		// unpublished count dropped (gate) and an injection may now
 		// bound its target.
