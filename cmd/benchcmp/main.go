@@ -39,11 +39,28 @@ var gatedMetrics = map[string]bool{
 	"kernel_completion_ns_per_op":      true,
 	"pipeline_replay_ns":               true,
 	"pipeline_sliced_ns":               true,
+	"slice_profiled_ns":                true,
 	"records_per_second":               false,
 	"parse_records_per_second":         false,
 	"parse_sharded_records_per_second": false,
 	"shard_speedup":                    false,
 	"slice_speedup":                    false,
+	"slice_profiled_speedup":           false,
+}
+
+// dirMark annotates a one-sided gated metric with its direction, so the
+// table says which way the fresh baseline is supposed to move once both
+// sides have it: ↓ lower-better, ↑ higher-better. Ungated one-sided
+// metrics stay bare.
+func dirMark(k string) string {
+	lowerBetter, gated := gatedMetrics[k]
+	if !gated {
+		return ""
+	}
+	if lowerBetter {
+		return " ↓"
+	}
+	return " ↑"
 }
 
 func load(path string) (map[string]interface{}, error) {
@@ -103,10 +120,10 @@ func main() {
 		nv, inNew := newM[k].(float64)
 		switch {
 		case !inOld:
-			fmt.Printf("%-*s  %14s  %14s  %8s\n", width, k, "-", formatNum(nv), "new")
+			fmt.Printf("%-*s  %14s  %14s  %8s\n", width, k, "-", formatNum(nv), "new"+dirMark(k))
 			continue
 		case !inNew:
-			fmt.Printf("%-*s  %14s  %14s  %8s\n", width, k, formatNum(ov), "-", "gone")
+			fmt.Printf("%-*s  %14s  %14s  %8s\n", width, k, formatNum(ov), "-", "gone"+dirMark(k))
 			continue
 		}
 		delta := "~"

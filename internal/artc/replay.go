@@ -121,6 +121,12 @@ type Report struct {
 	// the replay (nil when no injector was configured).
 	FaultStats *fault.Stats
 
+	// Coord holds the clock-exchange coordinator's wait accounting for
+	// sharded replays (nil for serial replays or cross-edge-free plans).
+	// Excluded from JSON so sharded exports stay byte-identical to
+	// serial ones; the deterministic parts feed shard.SliceProfile.
+	Coord *CoordStats `json:"-"`
+
 	// graph retains the enforced dependency graph for post-hoc analysis
 	// (CriticalPath); unexported so reports stay JSON-light.
 	graph *core.Graph

@@ -61,6 +61,13 @@ type ShardOptions struct {
 	// longer byte-identical to serial Replay; perf measurements opt in,
 	// differential tests must not.
 	SliceDeviceSync bool
+	// SliceProfile, when non-nil, feeds a prior replay's observed
+	// per-atom-pair wait/traffic weights into the slicer
+	// (shard.SliceOptions.Profile): the cut is re-run with observed
+	// cross-edge wait cost in place of the static structural proxy. The
+	// plan — and therefore the replay — stays a pure function of
+	// (trace, options, profile).
+	SliceProfile *shard.SliceProfile
 }
 
 // ShardStats summarizes the partition a sharded replay executed.
@@ -81,6 +88,39 @@ type ShardStats struct {
 	// Synthetic the program-order edges the splits created.
 	Sliced    int
 	Synthetic int
+	// Profiled reports whether the plan was cut from a slice profile;
+	// PlanFingerprint identifies the executed partition (component
+	// membership + cross edges), so callers can tell a profiled re-cut
+	// actually moved the cut.
+	Profiled        bool
+	PlanFingerprint uint64
+	// Profile is the slice profile built from this replay's coordinator
+	// measurements — per-atom virtual cost and per-atom-pair cross-edge
+	// wait/traffic — nil when the plan was not sliced. Feeding it back
+	// through ShardOptions.SliceProfile re-cuts adaptively.
+	Profile *shard.SliceProfile
+}
+
+// CoordStats aggregates the clock-exchange coordinator's accounting
+// across a sharded replay's clusters. The virtual quantities (cross
+// wait, publishes) are deterministic; BlockedNs is host wall time and
+// is reported for humans only — it never feeds the profile.
+type CoordStats struct {
+	// EdgeWaitNs and EdgePublished are indexed by the plan's cross-edge
+	// list: virtual nanoseconds the destination action waited on each
+	// edge, and whether the edge published (0 or 1).
+	EdgeWaitNs    []int64
+	EdgePublished []int64
+	// CrossWaitNs sums EdgeWaitNs; Published sums EdgePublished.
+	CrossWaitNs int64
+	Published   int64
+	// FlushBatches counts non-empty epoch publication flushes;
+	// FlushMaxBatch is the largest single flush.
+	FlushBatches  int64
+	FlushMaxBatch int
+	// BlockedNs is host wall time member pacers spent parked waiting for
+	// peer clocks, attributed per gating source internally.
+	BlockedNs int64
 }
 
 // infDur is the coordinator's "no constraint" time.
@@ -129,6 +169,10 @@ type subState struct {
 	// both are touched only from the member's own kernel goroutine.
 	pendingPub []pubRec
 	pubLocal   []time.Duration
+	// crossWaitNs accumulates the member's virtual cross-edge wait time
+	// (written and read only on the member's kernel goroutine; the obs
+	// CounterCrossWait probe samples it from the same goroutine).
+	crossWaitNs int64
 }
 
 // edgeKindOf returns a cross edge's kind; synthetic thread-adjacency
@@ -153,7 +197,8 @@ func (s *subState) waitCross(rs *replayState, t *sim.Thread, idx int) {
 	k := rs.sys.K
 	for _, ge := range ins {
 		s.crossWaitEdge[idx] = ge
-		v := s.coord.await(t, k, s.member, ge, s.pubLocal, func() string { return s.crossReason(idx) })
+		v, waited := s.coord.await(t, k, s.member, ge, s.pubLocal, func() string { return s.crossReason(idx) })
+		s.crossWaitNs += int64(waited)
 		if s.crossRelEdge != nil {
 			if best := s.crossRelEdge[idx]; best < 0 || v > s.crossRelAt[idx] {
 				s.crossRelAt[idx] = v
@@ -182,7 +227,8 @@ func (s *subState) waitThreadPrev(rs *replayState, t *sim.Thread, idx int) {
 		return
 	}
 	s.crossWaitEdge[idx] = ge
-	s.coord.await(t, rs.sys.K, s.member, ge, s.pubLocal, func() string { return s.crossReason(idx) })
+	_, waited := s.coord.await(t, rs.sys.K, s.member, ge, s.pubLocal, func() string { return s.crossReason(idx) })
+	s.crossWaitNs += int64(waited)
 	s.crossWaitEdge[idx] = -1
 }
 
@@ -389,6 +435,22 @@ type clusterCoord struct {
 	// deadlocked distinguishes the latter for error reporting.
 	dead       atomic.Bool
 	deadlocked bool
+
+	// Wait profiling. edgeID maps each dense edge back to its index in
+	// the plan's Cross list; waitNs accumulates, per dense edge, the
+	// virtual time its destination action waited (written under mu in
+	// await's post-park section — a pure function of the virtual
+	// execution, identical across hosts and GOMAXPROCS). flushBatches /
+	// flushMax count non-empty epoch flushes. blockedNs records host
+	// wall time each member's pacer spent parked, attributed to the
+	// inbound source whose clock gated the advance (aligned with
+	// srcsOf; slot len(srcsOf[m]) collects unattributed waits) — host
+	// timing feeds human reports only, never the profile.
+	edgeID       []int32
+	waitNs       []int64
+	flushBatches int64
+	flushMax     int
+	blockedNs    [][]int64
 }
 
 func newClusterCoord(plan *shard.Plan, cluster []int32) *clusterCoord {
@@ -403,9 +465,10 @@ func newClusterCoord(plan *shard.Plan, cluster []int32) *clusterCoord {
 		srcsOf:  make([][]int32, n),
 		dstsOf:  make([][]int32, n),
 		unpub:   make([][]atomic.Int32, n),
-		deliver: make([][]delivery, n),
-		inj:     make([][]injection, n),
-		injN:    make([]atomic.Int32, n),
+		deliver:   make([][]delivery, n),
+		inj:       make([][]injection, n),
+		injN:      make([]atomic.Int32, n),
+		blockedNs: make([][]int64, n),
 	}
 	c.conds = make([]*sync.Cond, n)
 	for m := range c.conds {
@@ -435,6 +498,7 @@ func newClusterCoord(plan *shard.Plan, cluster []int32) *clusterCoord {
 	for m := 0; m < n; m++ {
 		sort.Slice(c.srcsOf[m], func(i, j int) bool { return c.srcsOf[m][i] < c.srcsOf[m][j] })
 		c.unpub[m] = make([]atomic.Int32, len(c.srcsOf[m]))
+		c.blockedNs[m] = make([]int64, len(c.srcsOf[m])+1)
 		slotOf[m] = make(map[int32]int32, len(c.srcsOf[m]))
 		for k, src := range c.srcsOf[m] {
 			slotOf[m][src] = int32(k)
@@ -442,7 +506,7 @@ func newClusterCoord(plan *shard.Plan, cluster []int32) *clusterCoord {
 		}
 	}
 	// Second pass: dense ids in plan order (ascending edge id).
-	for _, ce := range plan.Cross {
+	for ci, ce := range plan.Cross {
 		dst, ok := memberOf[ce.To]
 		if !ok {
 			continue
@@ -451,10 +515,12 @@ func newClusterCoord(plan *shard.Plan, cluster []int32) *clusterCoord {
 		slot := slotOf[dst][src]
 		c.denseOf[ce.Edge] = int32(len(c.edges))
 		c.edges = append(c.edges, coordEdge{src: src, dst: dst, slot: slot})
+		c.edgeID = append(c.edgeID, int32(ci))
 		c.pub = append(c.pub, unpubbed)
 		c.waiters = append(c.waiters, nil)
 		c.unpub[dst][slot].Add(1)
 	}
+	c.waitNs = make([]int64, len(c.edges))
 	return c
 }
 
@@ -554,10 +620,39 @@ func (c *clusterCoord) advance(k *sim.Kernel, m int, next time.Duration, pending
 		// cluster dead): its broadcast fired before we could Wait, so
 		// re-evaluate instead of sleeping through our own wake-up.
 		if !c.granted[m] && !c.dead.Load() {
+			// Attribute the stall to the inbound source whose clock gated
+			// the advance (the first failing gate, ascending source order);
+			// waits with no finite target fall in the overflow slot.
+			gate := len(c.srcsOf[m])
+			if target != infDur {
+				if g := c.gatingSlot(m, target); g >= 0 {
+					gate = g
+				}
+			}
+			t0 := time.Now()
 			c.conds[m].Wait()
+			c.blockedNs[m][gate] += time.Since(t0).Nanoseconds()
 		}
 		c.state[m].Store(memberRunning)
 	}
+}
+
+// gatingSlot returns the srcsOf slot of the first source blocking
+// member m's advance to target, or -1 when no source gates it. Called
+// with the lock held; reporting only.
+func (c *clusterCoord) gatingSlot(m int, target time.Duration) int {
+	for k, src := range c.srcsOf[m] {
+		if c.unpub[m][k].Load() == 0 {
+			continue
+		}
+		if c.state[src].Load() == memberDone {
+			continue
+		}
+		if c.clock[src].Load() <= int64(target) {
+			return k
+		}
+	}
+	return -1
 }
 
 // wakeDepsLocked signals every blocked member whose advance gate reads
@@ -602,6 +697,10 @@ func (c *clusterCoord) allowedFast(m int, target time.Duration) bool {
 func (c *clusterCoord) flushLocked(pending []pubRec) {
 	if len(pending) == 0 {
 		return
+	}
+	c.flushBatches++
+	if len(pending) > c.flushMax {
+		c.flushMax = len(pending)
 	}
 	for _, p := range pending {
 		dense := c.denseOf[p.edge]
@@ -724,23 +823,30 @@ func (c *clusterCoord) addInj(m int, at time.Duration, edge int32, w *crossWaite
 }
 
 // await blocks the calling thread until edge is published, returning
-// the published satisfaction time. Called in member m's kernel context.
-// mirror is the member's lock-free publication view: an edge already
-// delivered there with a time at or before now needs no lock at all —
-// the conservative bound guarantees the publication was flushed before
-// m's clock could pass it, so the mirror entry is final.
-func (c *clusterCoord) await(t *sim.Thread, k *sim.Kernel, m int, edge int32, mirror []time.Duration, reason func() string) time.Duration {
+// the published satisfaction time and the virtual time the thread
+// waited. Called in member m's kernel context. mirror is the member's
+// lock-free publication view: an edge already delivered there with a
+// time at or before now needs no lock at all — the conservative bound
+// guarantees the publication was flushed before m's clock could pass
+// it, so the mirror entry is final.
+//
+// The waited time is max(0, v-now): the thread resumes at max(v, tPark)
+// whether it took the injection path or parked for a flush, so the
+// measurement is path-independent — a pure function of the virtual
+// execution, which is what lets profiles built from it stay
+// deterministic across hosts and GOMAXPROCS.
+func (c *clusterCoord) await(t *sim.Thread, k *sim.Kernel, m int, edge int32, mirror []time.Duration, reason func() string) (time.Duration, time.Duration) {
 	dense := c.denseOf[edge]
 	now := k.Now()
 	if v := mirror[dense]; v != unpubbed && v <= now {
-		return v
+		return v, 0
 	}
 	c.mu.Lock()
 	if v := c.pub[dense]; v != unpubbed && v <= now {
 		// Satisfied in this member's past but not yet drained into the
 		// mirror (the delivery is queued for m's next advance).
 		c.mu.Unlock()
-		return v
+		return v, 0
 	}
 	w := &crossWaiter{th: t, m: m, tPark: now}
 	if v := c.pub[dense]; v != unpubbed {
@@ -756,8 +862,13 @@ func (c *clusterCoord) await(t *sim.Thread, k *sim.Kernel, m int, edge int32, mi
 	c.mu.Lock()
 	c.parked[m]--
 	v := c.pub[dense]
+	var waited time.Duration
+	if v > now {
+		waited = v - now
+		c.waitNs[dense] += int64(waited)
+	}
 	c.mu.Unlock()
-	return v
+	return v, waited
 }
 
 // memberDone flushes member m's final publication buffer, marks it
@@ -1009,6 +1120,24 @@ func runMember(cs *compiledShard, opts Options, so ShardOptions, coord *clusterC
 			cs.sub.pubLocal[i] = unpubbed
 		}
 		k.SetPacer(&shardPacer{c: coord, k: k, m: mi, sub: cs.sub})
+		if cs.rec != nil && cs.sub.plan.Sliced() {
+			// Cross-wait counter track, sliced replays only: unsliced
+			// sharded exports must stay byte-identical to serial, which
+			// has no such track. The probe reads a member-goroutine-local
+			// cumulative virtual wait, so the samples are deterministic.
+			sub := cs.sub
+			det := cs.rec.InstallProbes(k, opts.ObsInterval, obs.Probe{
+				Kind: obs.CounterCrossWait,
+				Fn:   func() float64 { return float64(sub.crossWaitNs) },
+			})
+			prev := rs.obsDetach
+			rs.obsDetach = func() {
+				det()
+				if prev != nil {
+					prev()
+				}
+			}
+		}
 	}
 	rs.spawnThreads()
 	runErr := k.Run()
@@ -1115,6 +1244,7 @@ func ReplaySharded(b *Benchmark, opts Options, so ShardOptions) (*Report, *Shard
 		plan = shard.Slice(b.Analysis, g, plan, shard.SliceOptions{
 			MaxActions: so.SliceActions, MaxSlices: so.SliceMax,
 			AllowDeviceSync: so.SliceDeviceSync,
+			Profile:         so.SliceProfile,
 		})
 	}
 	clusters := plan.Clusters()
@@ -1124,13 +1254,15 @@ func ReplaySharded(b *Benchmark, opts Options, so ShardOptions) (*Report, *Shard
 	}
 	pst := plan.Stats()
 	stats := &ShardStats{
-		Components: pst.Components,
-		Clusters:   len(clusters),
-		CrossEdges: pst.CrossEdges,
-		Largest:    pst.Largest,
-		Shards:     workers,
-		Sliced:     pst.Sliced,
-		Synthetic:  pst.Synthetic,
+		Components:      pst.Components,
+		Clusters:        len(clusters),
+		CrossEdges:      pst.CrossEdges,
+		Largest:         pst.Largest,
+		Shards:          workers,
+		Sliced:          pst.Sliced,
+		Synthetic:       pst.Synthetic,
+		Profiled:        so.SliceProfile != nil && plan.Sliced(),
+		PlanFingerprint: plan.Fingerprint(),
 	}
 	shards := buildShards(b, g, plan, opts.Obs != nil)
 	if err := par.ForEachN(len(clusters), workers, func(ci int) error {
@@ -1142,7 +1274,53 @@ func ReplaySharded(b *Benchmark, opts Options, so ShardOptions) (*Report, *Shard
 	if err != nil {
 		return nil, stats, err
 	}
+	rep.Coord = collectCoordStats(plan, shards)
+	if plan.Sliced() && rep.Coord != nil {
+		stats.Profile = shard.BuildProfile(b.Analysis, g, plan,
+			rep.Coord.EdgeWaitNs, rep.Coord.EdgePublished, rep.IssueAt, rep.DoneAt)
+	}
 	return rep, stats, nil
+}
+
+// collectCoordStats folds every cluster coordinator's wait accounting
+// into plan-cross-edge-indexed totals. Runs after all members have
+// finished, so the coordinators are quiescent and lock-free to read.
+// Returns nil when the plan has no cross edges.
+func collectCoordStats(plan *shard.Plan, shards []*compiledShard) *CoordStats {
+	if len(plan.Cross) == 0 {
+		return nil
+	}
+	cst := &CoordStats{
+		EdgeWaitNs:    make([]int64, len(plan.Cross)),
+		EdgePublished: make([]int64, len(plan.Cross)),
+	}
+	seen := make(map[*clusterCoord]bool)
+	for _, cs := range shards {
+		c := cs.sub.coord
+		if c == nil || seen[c] {
+			continue
+		}
+		seen[c] = true
+		for dense := range c.edges {
+			ci := c.edgeID[dense]
+			cst.EdgeWaitNs[ci] += c.waitNs[dense]
+			cst.CrossWaitNs += c.waitNs[dense]
+			if c.pub[dense] != unpubbed {
+				cst.EdgePublished[ci]++
+				cst.Published++
+			}
+		}
+		cst.FlushBatches += c.flushBatches
+		if c.flushMax > cst.FlushMaxBatch {
+			cst.FlushMaxBatch = c.flushMax
+		}
+		for _, per := range c.blockedNs {
+			for _, ns := range per {
+				cst.BlockedNs += ns
+			}
+		}
+	}
+	return cst
 }
 
 // mergeReports folds the per-component raw states into one Report and,

@@ -1,0 +1,140 @@
+package artc
+
+import (
+	"runtime"
+	"testing"
+
+	"rootreplay/internal/core"
+	"rootreplay/internal/obs"
+	"rootreplay/internal/shard"
+	"rootreplay/internal/snapshot"
+	"rootreplay/internal/stack"
+	"rootreplay/internal/trace"
+	"rootreplay/internal/workload"
+)
+
+// genHotPipeline synthesizes the skewed slicing corpus: one stage's
+// private writes are hotPages wide, so its atom carries several times
+// the virtual cost of its peers while every stage's action count stays
+// identical — the shape where the static cut and the profiled cut must
+// disagree.
+func genHotPipeline(t *testing.T, stages, ops, handoff, hotStage, hotPages int) (*trace.Trace, *snapshot.Snapshot) {
+	t.Helper()
+	tr, snap, err := workload.SynthPipeline(workload.Pipeline{
+		Stages: stages, Ops: ops, Handoff: handoff, Seed: 7,
+		HotStage: hotStage, HotPages: hotPages,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, snap
+}
+
+// slicedProfiledOn replays through ReplaySharded with slicing enabled
+// and a profile steering the cut.
+func slicedProfiledOn(t *testing.T, tr *trace.Trace, snap *snapshot.Snapshot, opts Options,
+	shards, sliceActions int, prof *shard.SliceProfile) (*Report, *ShardStats) {
+	t.Helper()
+	b, err := Compile(tr, snap, core.DefaultModes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.SelfCheck = true
+	so := ShardOptions{
+		Shards: shards,
+		Target: defaultConf(),
+		Init: func(sys *stack.System) error {
+			if err := Init(sys, b, opts.Prefix); err != nil {
+				return err
+			}
+			sys.WarmAll()
+			return nil
+		},
+		SliceActions: sliceActions,
+		SliceProfile: prof,
+	}
+	rep, st, err := ReplaySharded(b, opts, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, st
+}
+
+// The profiled re-cut keeps the tentpole contract: on a warmed,
+// fsync-free corpus the profile-guided sliced replay is byte-identical
+// to serial across shard counts and host parallelism levels, even
+// though its plan differs from the static cut (CI reruns this under
+// -race).
+func TestSlicedProfiledByteIdenticalToSerial(t *testing.T) {
+	tr, snap := genHotPipeline(t, 4, 200, 8, 2, 32)
+	serialRec := obs.NewRecorder(0, 0)
+	serial := serialWarm(t, tr, snap, nil, Options{Obs: serialRec})
+	serialJS := reportJSON(t, serial)
+	serialSpans := canonSpans(serialRec.Spans())
+	n := len(tr.Records)
+
+	// Profiling pass: one static-cut sliced replay emits the profile.
+	_, st := slicedOn(t, tr, snap, Options{}, 2, n/2+1, nil)
+	if st.Profile == nil {
+		t.Fatal("static sliced replay produced no profile")
+	}
+	if st.Profiled {
+		t.Fatalf("static run reports Profiled=true: %+v", st)
+	}
+	staticFP := st.PlanFingerprint
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for _, shards := range []int{1, 2, 4, 8} {
+			rec := obs.NewRecorder(0, 0)
+			rep, pst := slicedProfiledOn(t, tr, snap, Options{Obs: rec}, shards, n/2+1, st.Profile)
+			if !pst.Profiled || pst.Components < 2 {
+				t.Fatalf("procs=%d shards=%d: profiled run did not slice: %+v", procs, shards, pst)
+			}
+			if pst.PlanFingerprint == staticFP {
+				t.Fatalf("procs=%d shards=%d: profiled plan fingerprint equals static (%016x); the profile is not steering the cut",
+					procs, shards, staticFP)
+			}
+			if got := reportJSON(t, rep); got != serialJS {
+				t.Errorf("procs=%d shards=%d: profiled sliced report differs from serial:\n got %s\nwant %s",
+					procs, shards, got, serialJS)
+			}
+			spans := canonSpans(rec.Spans())
+			if len(spans) != len(serialSpans) {
+				t.Fatalf("procs=%d shards=%d: %d spans, serial %d", procs, shards, len(spans), len(serialSpans))
+			}
+			for i := range spans {
+				if spans[i] != serialSpans[i] {
+					t.Fatalf("procs=%d shards=%d: span %d differs:\n got %+v\nwant %+v",
+						procs, shards, i, spans[i], serialSpans[i])
+				}
+			}
+		}
+	}
+}
+
+// A profile from one cut must re-cut deterministically through the full
+// ReplaySharded path: same profile in, same fingerprint and
+// byte-identical next-generation profile out.
+func TestSlicedProfiledFixpointDeterministic(t *testing.T) {
+	tr, snap := genHotPipeline(t, 4, 150, 8, 3, 16)
+	n := len(tr.Records)
+	_, st := slicedOn(t, tr, snap, Options{}, 2, n/2+1, nil)
+	if st.Profile == nil {
+		t.Fatal("no profile from static run")
+	}
+	_, p1 := slicedProfiledOn(t, tr, snap, Options{}, 2, n/2+1, st.Profile)
+	_, p2 := slicedProfiledOn(t, tr, snap, Options{}, 4, n/2+1, st.Profile)
+	if p1.PlanFingerprint != p2.PlanFingerprint {
+		t.Fatalf("profiled fingerprint depends on shard workers: %016x vs %016x",
+			p1.PlanFingerprint, p2.PlanFingerprint)
+	}
+	if p1.Profile == nil || p2.Profile == nil {
+		t.Fatal("profiled runs emitted no next-generation profile")
+	}
+	e1, e2 := p1.Profile.Encode(), p2.Profile.Encode()
+	if string(e1) != string(e2) {
+		t.Fatal("next-generation profiles differ across shard workers")
+	}
+}

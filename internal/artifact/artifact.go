@@ -206,6 +206,17 @@ func (s *Store) Put(key string, b *artc.Benchmark) (int64, error) {
 	return int64(buf.Len()), nil
 }
 
+// isEntry reports whether a cache file is a live store entry — a
+// compiled benchmark or a slice profile — as opposed to an abandoned
+// temp file.
+func isEntry(p string) bool {
+	switch filepath.Ext(p) {
+	case ".artc", ".sliceprof":
+		return true
+	}
+	return false
+}
+
 // entry is one cache file seen by the evictor.
 type entry struct {
 	path  string
@@ -226,7 +237,7 @@ func (s *Store) evict() error {
 		if err != nil {
 			return nil // raced with a concurrent eviction
 		}
-		if filepath.Ext(p) != ".artc" {
+		if !isEntry(p) {
 			if time.Since(info.ModTime()) > time.Hour {
 				os.Remove(p) // abandoned temp file
 			}
@@ -258,7 +269,7 @@ func (s *Store) evict() error {
 // total size.
 func (s *Store) Len() (n int, bytes int64, err error) {
 	err = filepath.WalkDir(s.dir, func(p string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || filepath.Ext(p) != ".artc" {
+		if err != nil || d.IsDir() || !isEntry(p) {
 			return err
 		}
 		info, err := d.Info()

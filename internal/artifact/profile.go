@@ -1,0 +1,102 @@
+// Slice-profile entries: the store keeps a replay's observed slicing
+// weights (shard.SliceProfile) next to the compiled benchmark, so a
+// cached trace loads both and repeat runs replay the converged,
+// profile-guided cut without re-measuring.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"rootreplay/internal/shard"
+)
+
+// ProfileKey derives the content address of a slice profile from the
+// benchmark's content address and everything else that shapes the
+// profiling replay: the slice options and the profile format version.
+// A profile is only valid for re-cutting the exact (trace, modes,
+// slice-options) combination that produced it.
+func ProfileKey(benchKey string, sliceActions, sliceMax int, deviceSync bool) string {
+	h := sha256.New()
+	io.WriteString(h, "artc-sliceprof\x00")
+	io.WriteString(h, strconv.Itoa(shard.ProfileFormatVersion))
+	io.WriteString(h, "\x00")
+	io.WriteString(h, benchKey)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, strconv.Itoa(sliceActions))
+	io.WriteString(h, "\x00")
+	io.WriteString(h, strconv.Itoa(sliceMax))
+	io.WriteString(h, "\x00")
+	io.WriteString(h, strconv.FormatBool(deviceSync))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// profilePath returns the entry file for a profile key, sharded like
+// benchmark entries.
+func (s *Store) profilePath(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".sliceprof")
+}
+
+// GetProfile loads the slice profile stored at key. It returns ErrMiss
+// when the key is absent and a *CorruptError (after deleting the
+// damaged file) when the entry fails checksum or decode — the same
+// contract as Get, so callers fall back to the static cut the way a
+// corrupt benchmark falls back to recompiling.
+func (s *Store) GetProfile(key string) (*shard.SliceProfile, int64, error) {
+	p := s.profilePath(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, ErrMiss
+		}
+		return nil, 0, fmt.Errorf("artifact: %w", err)
+	}
+	sp, err := shard.DecodeProfile(data)
+	if err != nil {
+		os.Remove(p)
+		return nil, 0, &CorruptError{Key: key, Path: p, Err: err}
+	}
+	now := time.Now()
+	os.Chtimes(p, now, now)
+	return sp, int64(len(data)), nil
+}
+
+// PutProfile stores a slice profile at key and returns the entry size.
+// The write is atomic (temp file + rename) and triggers the same LRU
+// eviction as benchmark entries.
+func (s *Store) PutProfile(key string, sp *shard.SliceProfile) (int64, error) {
+	data := sp.Encode()
+	p := s.profilePath(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return 0, fmt.Errorf("artifact: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return 0, fmt.Errorf("artifact: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("artifact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("artifact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("artifact: %w", err)
+	}
+	if err := s.evict(); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}

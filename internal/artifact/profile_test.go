@@ -1,0 +1,149 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rootreplay/internal/shard"
+)
+
+func sampleProfile() *shard.SliceProfile {
+	return &shard.SliceProfile{
+		Atoms: []shard.ProfileAtom{
+			{Atom: 0, Actions: 120, CostNs: 5_000_000},
+			{Atom: 7, Actions: 600, CostNs: 90_000_000},
+			{Atom: 31, Actions: 601, CostNs: 11_000_000},
+		},
+		Pairs: []shard.ProfilePair{
+			{A: 0, B: 7, WaitNs: 4_000_000, Publishes: 31},
+			{A: 7, B: 31, WaitNs: 250_000, Publishes: 12},
+		},
+	}
+}
+
+func TestProfileStoreMissPutGet(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ProfileKey("benchkey", 700, 0, true)
+	if _, _, err := s.GetProfile(key); err != ErrMiss {
+		t.Fatalf("GetProfile on empty store: %v, want ErrMiss", err)
+	}
+	sp := sampleProfile()
+	n, err := s.PutProfile(key, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("PutProfile reported zero bytes")
+	}
+	got, gn, err := s.GetProfile(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gn != n {
+		t.Fatalf("GetProfile size %d, Put size %d", gn, n)
+	}
+	if !bytes.Equal(got.Encode(), sp.Encode()) {
+		t.Fatal("round-tripped profile differs")
+	}
+}
+
+// ProfileKey must separate every input that shapes the profiling
+// replay: the benchmark, the slice budget, the slice cap, and the
+// device-sync regime.
+func TestProfileKeySeparatesInputs(t *testing.T) {
+	keys := map[string]bool{
+		ProfileKey("b1", 700, 0, true):  true,
+		ProfileKey("b2", 700, 0, true):  true,
+		ProfileKey("b1", 800, 0, true):  true,
+		ProfileKey("b1", 700, 4, true):  true,
+		ProfileKey("b1", 700, 0, false): true,
+	}
+	if len(keys) != 5 {
+		t.Fatalf("profile keys collide: %d distinct of 5", len(keys))
+	}
+}
+
+// A damaged profile entry must surface as CorruptError and be removed,
+// so the caller falls back to the static cut and the next profiling
+// replay can repopulate the key.
+func TestProfileCorruptEntryRemoved(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ProfileKey("benchkey", 700, 0, false)
+	if _, err := s.PutProfile(key, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	p := s.profilePath(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.GetProfile(key)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("GetProfile on damaged entry: %v, want CorruptError", err)
+	}
+	if _, statErr := os.Stat(p); !errors.Is(statErr, os.ErrNotExist) {
+		t.Fatal("damaged profile entry not removed")
+	}
+	if _, _, err := s.GetProfile(key); err != ErrMiss {
+		t.Fatalf("second GetProfile: %v, want ErrMiss", err)
+	}
+}
+
+// Profile entries are live store entries: the evictor's stale-temp
+// cleanup must never treat an old .sliceprof as an abandoned temp file,
+// and Len counts profiles alongside benchmarks.
+func TestProfileSurvivesTempCleanup(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ProfileKey("benchkey", 700, 0, false)
+	if _, err := s.PutProfile(key, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	// Age the entry past the stale-temp horizon, and drop a genuinely
+	// stale temp file next to it.
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(s.profilePath(key), old, old); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, ".put-stale")
+	if err := os.WriteFile(stale, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.evict(); err != nil {
+		t.Fatal(err)
+	}
+	if _, statErr := os.Stat(stale); !errors.Is(statErr, os.ErrNotExist) {
+		t.Fatal("stale temp file survived eviction")
+	}
+	if _, _, err := s.GetProfile(key); err != nil {
+		t.Fatalf("aged profile entry lost to temp cleanup: %v", err)
+	}
+	n, _, err := s.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Len counts %d entries, want 1 (the profile)", n)
+	}
+}

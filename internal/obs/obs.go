@@ -79,6 +79,11 @@ const (
 	// CounterDevUtil is device utilization over the sampling window, in
 	// percent, normalized by device parallelism.
 	CounterDevUtil
+	// CounterCrossWait is a sliced replay member's cumulative virtual
+	// time spent awaiting cross-slice edges, in nanoseconds. Sampled per
+	// slice replica; the virtual measurement is deterministic, so the
+	// track is byte-identical across hosts and GOMAXPROCS.
+	CounterCrossWait
 
 	numCounters
 )
@@ -94,6 +99,8 @@ func (k CounterKind) String() string {
 		return "io_inflight"
 	case CounterDevUtil:
 		return "dev_util_pct"
+	case CounterCrossWait:
+		return "cross_wait_ns"
 	default:
 		return fmt.Sprintf("counter_%d", uint8(k))
 	}

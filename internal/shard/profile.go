@@ -1,0 +1,264 @@
+// SliceProfile: observed replay weights for profile-guided re-slicing.
+//
+// A sliced replay measures, per cross-slice edge, how long the
+// downstream action waited for the upstream clock (in virtual time) and
+// how many publications the edge carried; per atom it measures the
+// total in-call virtual time of the atom's actions. Both are pure
+// functions of the virtual execution — a parked waiter's wait is the
+// published completion instant minus its own park instant, and the same
+// subtraction happens on the lock-free mirror path — so a profile built
+// from one replay is byte-identical across hosts and GOMAXPROCS
+// settings, and a plan cut from (trace, options, profile) is still a
+// pure function of its inputs. Host wall-clock stall time is reported
+// for humans (artc.CoordStats) but never enters the profile.
+//
+// Atoms are named by their smallest action index, which is stable
+// across runs and across static/profiled cuts because atoms depend only
+// on the resource closure, never on the cut.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"rootreplay/internal/core"
+)
+
+// ProfileAtom is one atom's observed cost.
+type ProfileAtom struct {
+	// Atom is the atom's smallest action index.
+	Atom int32
+	// Actions is the atom's action count.
+	Actions int32
+	// CostNs is the summed in-call virtual time (DoneAt-IssueAt) of the
+	// atom's actions, in nanoseconds.
+	CostNs int64
+}
+
+// ProfilePair is the observed cross-slice traffic between two atoms.
+type ProfilePair struct {
+	// A and B are the atoms' smallest action indices, A < B.
+	A, B int32
+	// WaitNs is the total virtual time downstream actions spent waiting
+	// on cross edges between the atoms, in nanoseconds.
+	WaitNs int64
+	// Publishes counts clock publications carried by edges between the
+	// atoms.
+	Publishes int64
+}
+
+// SliceProfile is the persistable result of profiling one sliced
+// replay: per-atom costs and per-atom-pair cross-edge traffic, both in
+// canonical (ascending) order so the encoding is deterministic.
+type SliceProfile struct {
+	Atoms []ProfileAtom
+	Pairs []ProfilePair
+}
+
+// ProfileFormatVersion is the current profile artifact format version.
+const ProfileFormatVersion = 1
+
+// profMagic opens every encoded slice profile.
+var profMagic = [8]byte{'A', 'R', 'T', 'C', 'P', 'R', 'O', 'F'}
+
+// Encode serializes the profile deterministically: magic, version,
+// varint-packed atom and pair tables, CRC-32C footer (the same
+// corruption contract as the binary benchmark artifact).
+func (p *SliceProfile) Encode() []byte {
+	out := make([]byte, 0, 16+10*len(p.Atoms)+14*len(p.Pairs))
+	out = append(out, profMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, ProfileFormatVersion)
+	out = binary.AppendUvarint(out, uint64(len(p.Atoms)))
+	for _, a := range p.Atoms {
+		out = binary.AppendUvarint(out, uint64(a.Atom))
+		out = binary.AppendUvarint(out, uint64(a.Actions))
+		out = binary.AppendUvarint(out, uint64(a.CostNs))
+	}
+	out = binary.AppendUvarint(out, uint64(len(p.Pairs)))
+	for _, pr := range p.Pairs {
+		out = binary.AppendUvarint(out, uint64(pr.A))
+		out = binary.AppendUvarint(out, uint64(pr.B))
+		out = binary.AppendUvarint(out, uint64(pr.WaitNs))
+		out = binary.AppendUvarint(out, uint64(pr.Publishes))
+	}
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, profCRC))
+	return out
+}
+
+var profCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// profReader decodes the varint stream with bounds checking.
+type profReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *profReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("shard: profile truncated at offset %d reading %s", r.off, what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// DecodeProfile parses an encoded slice profile, validating the magic,
+// version, checksum, and canonical ordering. Any failure returns an
+// error and no profile; callers treat that as a corrupt artifact and
+// fall back to the static cut.
+func DecodeProfile(data []byte) (*SliceProfile, error) {
+	if len(data) < len(profMagic)+4+4 {
+		return nil, fmt.Errorf("shard: profile truncated: %d bytes", len(data))
+	}
+	for i, b := range profMagic {
+		if data[i] != b {
+			return nil, fmt.Errorf("shard: not a slice profile (bad magic)")
+		}
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != ProfileFormatVersion {
+		return nil, fmt.Errorf("shard: profile format version %d (this build reads %d)", v, ProfileFormatVersion)
+	}
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(data[:len(data)-4], profCRC); got != want {
+		return nil, fmt.Errorf("shard: profile checksum mismatch: footer says crc32c=%08x, content is %08x", want, got)
+	}
+	r := &profReader{data: data[:len(data)-4], off: len(profMagic) + 4}
+	p := &SliceProfile{}
+	na := r.uvarint("atom count")
+	if r.err == nil && na > uint64(len(data)) {
+		return nil, fmt.Errorf("shard: profile atom count %d exceeds payload", na)
+	}
+	prevAtom := int64(-1)
+	for i := uint64(0); i < na && r.err == nil; i++ {
+		a := ProfileAtom{
+			Atom:    int32(r.uvarint("atom id")),
+			Actions: int32(r.uvarint("atom actions")),
+			CostNs:  int64(r.uvarint("atom cost")),
+		}
+		if r.err == nil && int64(a.Atom) <= prevAtom {
+			return nil, fmt.Errorf("shard: profile atoms out of order at entry %d", i)
+		}
+		prevAtom = int64(a.Atom)
+		p.Atoms = append(p.Atoms, a)
+	}
+	np := r.uvarint("pair count")
+	if r.err == nil && np > uint64(len(data)) {
+		return nil, fmt.Errorf("shard: profile pair count %d exceeds payload", np)
+	}
+	prevA, prevB := int64(-1), int64(-1)
+	for i := uint64(0); i < np && r.err == nil; i++ {
+		pr := ProfilePair{
+			A:         int32(r.uvarint("pair a")),
+			B:         int32(r.uvarint("pair b")),
+			WaitNs:    int64(r.uvarint("pair wait")),
+			Publishes: int64(r.uvarint("pair publishes")),
+		}
+		if r.err == nil {
+			if pr.A >= pr.B {
+				return nil, fmt.Errorf("shard: profile pair %d not canonical (a=%d b=%d)", i, pr.A, pr.B)
+			}
+			if int64(pr.A) < prevA || (int64(pr.A) == prevA && int64(pr.B) <= prevB) {
+				return nil, fmt.Errorf("shard: profile pairs out of order at entry %d", i)
+			}
+		}
+		prevA, prevB = int64(pr.A), int64(pr.B)
+		p.Pairs = append(p.Pairs, pr)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("shard: profile has %d trailing bytes", len(r.data)-r.off)
+	}
+	return p, nil
+}
+
+// BuildProfile folds one sliced replay's measurements into a profile.
+// edgeWaitNs and edgePublished are indexed by the plan's Cross slice
+// (virtual nanoseconds waited on, and publications carried by, each
+// cross edge); issueAt and doneAt are the replay's per-action virtual
+// timestamps. The atoms are recomputed from the resource closure — the
+// same computation the slicer runs — so the profile keys match any
+// future cut of the same trace.
+func BuildProfile(an *core.Analysis, g *core.Graph, plan *Plan,
+	edgeWaitNs, edgePublished []int64, issueAt, doneAt []time.Duration) *SliceProfile {
+	n := plan.N
+	au := newUF(n)
+	resourceClosure(au, an, g)
+
+	// Atom ids: smallest member index per closure root. Ascending scan
+	// means the first occurrence of a root is its smallest member.
+	atomOf := make([]int32, n)
+	minIdx := make(map[int32]int32)
+	var atoms []ProfileAtom
+	for i := 0; i < n; i++ {
+		r := au.find(int32(i))
+		id, ok := minIdx[r]
+		if !ok {
+			id = int32(i)
+			minIdx[r] = id
+			atoms = append(atoms, ProfileAtom{Atom: id})
+		}
+		atomOf[i] = id
+	}
+	slot := make(map[int32]int, len(atoms))
+	for k := range atoms {
+		slot[atoms[k].Atom] = k
+	}
+	for i := 0; i < n; i++ {
+		a := &atoms[slot[atomOf[i]]]
+		a.Actions++
+		if d := doneAt[i] - issueAt[i]; d > 0 {
+			a.CostNs += int64(d)
+		}
+	}
+
+	pairs := make(map[[2]int32]*ProfilePair)
+	for ci, ce := range plan.Cross {
+		var wait, pub int64
+		if ci < len(edgeWaitNs) {
+			wait = edgeWaitNs[ci]
+		}
+		if ci < len(edgePublished) {
+			pub = edgePublished[ci]
+		}
+		if wait == 0 && pub == 0 {
+			continue
+		}
+		from, to := plan.EdgeEnds(g, ce.Edge)
+		a, b := atomOf[from], atomOf[to]
+		if a == b {
+			continue // same atom: nothing for a future cut to weigh
+		}
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]int32{a, b}
+		pr, ok := pairs[k]
+		if !ok {
+			pr = &ProfilePair{A: a, B: b}
+			pairs[k] = pr
+		}
+		pr.WaitNs += wait
+		pr.Publishes += pub
+	}
+	p := &SliceProfile{Atoms: atoms}
+	for _, pr := range pairs {
+		p.Pairs = append(p.Pairs, *pr)
+	}
+	sort.Slice(p.Pairs, func(i, j int) bool {
+		if p.Pairs[i].A != p.Pairs[j].A {
+			return p.Pairs[i].A < p.Pairs[j].A
+		}
+		return p.Pairs[i].B < p.Pairs[j].B
+	})
+	return p
+}

@@ -1,0 +1,195 @@
+package shard_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"rootreplay/internal/artc"
+	"rootreplay/internal/core"
+	"rootreplay/internal/shard"
+	"rootreplay/internal/stack"
+	"rootreplay/internal/workload"
+)
+
+// randProfile builds a random structurally-valid profile: atoms in
+// strictly ascending key order, pairs canonical (A < B) and sorted.
+func randProfile(rng *rand.Rand) *shard.SliceProfile {
+	p := &shard.SliceProfile{}
+	key := int32(0)
+	for i, n := 0, rng.Intn(12); i < n; i++ {
+		key += 1 + rng.Int31n(1000)
+		p.Atoms = append(p.Atoms, shard.ProfileAtom{
+			Atom:    key,
+			Actions: rng.Int31n(1 << 20),
+			CostNs:  rng.Int63n(1 << 40),
+		})
+	}
+	if len(p.Atoms) >= 2 {
+		for i := 0; i < len(p.Atoms); i++ {
+			for j := i + 1; j < len(p.Atoms); j++ {
+				if rng.Intn(3) != 0 {
+					continue
+				}
+				p.Pairs = append(p.Pairs, shard.ProfilePair{
+					A: p.Atoms[i].Atom, B: p.Atoms[j].Atom,
+					WaitNs: rng.Int63n(1 << 40), Publishes: rng.Int63n(1 << 20),
+				})
+			}
+		}
+	}
+	return p
+}
+
+// Encode -> Decode -> Encode must be the identity on bytes: the profile
+// artifact is content-addressed, so any drift would alias cache keys.
+func TestSliceProfileEncodeDecodeByteIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		p := randProfile(rng)
+		enc := p.Encode()
+		dec, err := shard.DecodeProfile(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(dec.Atoms) != len(p.Atoms) || len(dec.Pairs) != len(p.Pairs) {
+			t.Fatalf("trial %d: decoded %d atoms / %d pairs, want %d / %d",
+				trial, len(dec.Atoms), len(dec.Pairs), len(p.Atoms), len(p.Pairs))
+		}
+		for i := range p.Atoms {
+			if dec.Atoms[i] != p.Atoms[i] {
+				t.Fatalf("trial %d: atom %d = %+v, want %+v", trial, i, dec.Atoms[i], p.Atoms[i])
+			}
+		}
+		for i := range p.Pairs {
+			if dec.Pairs[i] != p.Pairs[i] {
+				t.Fatalf("trial %d: pair %d = %+v, want %+v", trial, i, dec.Pairs[i], p.Pairs[i])
+			}
+		}
+		if re := dec.Encode(); !bytes.Equal(re, enc) {
+			t.Fatalf("trial %d: re-encode differs (%d vs %d bytes)", trial, len(re), len(enc))
+		}
+	}
+}
+
+// Every single-byte flip, truncation, and trailing byte must be
+// rejected: a damaged cache entry falls back to the static cut, never
+// decodes to garbage weights.
+func TestSliceProfileDecodeRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var p *shard.SliceProfile
+	for p == nil || len(p.Atoms) < 3 {
+		p = randProfile(rng)
+	}
+	enc := p.Encode()
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0xFF
+		if _, err := shard.DecodeProfile(bad); err == nil {
+			t.Fatalf("flip at byte %d/%d decoded successfully", i, len(enc))
+		}
+	}
+	for _, cut := range []int{1, 4, len(enc) / 2, len(enc) - 1} {
+		if _, err := shard.DecodeProfile(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", cut)
+		}
+	}
+	if _, err := shard.DecodeProfile(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing byte decoded successfully")
+	}
+	// Non-canonical orderings with a valid checksum must also fail.
+	swapped := &shard.SliceProfile{
+		Atoms: []shard.ProfileAtom{{Atom: 9}, {Atom: 3}},
+	}
+	if _, err := shard.DecodeProfile(swapped.Encode()); err == nil {
+		t.Fatal("out-of-order atoms decoded successfully")
+	}
+	badPair := &shard.SliceProfile{
+		Atoms: []shard.ProfileAtom{{Atom: 1}, {Atom: 2}},
+		Pairs: []shard.ProfilePair{{A: 2, B: 1, WaitNs: 5}},
+	}
+	if _, err := shard.DecodeProfile(badPair.Encode()); err == nil {
+		t.Fatal("non-canonical pair decoded successfully")
+	}
+}
+
+// planString canonicalizes everything a plan determines: the member
+// assignment, cross edges, synthetic thread edges, and the fingerprint
+// that summarizes them.
+func planString(p *shard.Plan) string {
+	return fmt.Sprintf("%v|%v|%v|%d|%016x", p.CompOf, p.Cross, p.ThreadCross, p.EdgeBase, p.Fingerprint())
+}
+
+// The cut is a pure function of (trace, options, profile): both the
+// static and the profile-guided plan must be byte-identical across 100
+// runs and across GOMAXPROCS settings, and the profiled plan must
+// actually differ from the static one on a skewed corpus (otherwise the
+// determinism assertion is vacuous).
+func TestSlicedPlanByteIdenticalAcrossRuns(t *testing.T) {
+	tr, snap, err := workload.SynthPipeline(workload.Pipeline{
+		Stages: 4, Ops: 200, Handoff: 8, Seed: 7, HotStage: 2, HotPages: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := artc.Compile(tr, snap, core.DefaultModes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := stack.Config{
+		Name: "plan-det", Platform: stack.Linux, Profile: stack.Ext4,
+		Device: stack.DeviceSSD, Scheduler: stack.SchedNoop,
+	}
+	sliceActions := len(tr.Records)/2 + 1
+	_, st, err := artc.ReplaySharded(b, artc.Options{}, artc.ShardOptions{
+		Target:       target,
+		Init:         func(sys *stack.System) error { return artc.Init(sys, b, "") },
+		SliceActions: sliceActions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Profile == nil {
+		t.Fatal("sliced replay produced no profile")
+	}
+
+	cut := func(prof *shard.SliceProfile) *shard.Plan {
+		p := shard.Partition(b.Analysis, b.Graph)
+		return shard.Slice(b.Analysis, b.Graph, p, shard.SliceOptions{
+			MaxActions: sliceActions,
+			Profile:    prof,
+		})
+	}
+	wantStatic := planString(cut(nil))
+	wantProf := planString(cut(st.Profile))
+	if wantStatic == wantProf {
+		t.Fatal("profiled plan identical to static on the skewed corpus; the profile is not steering the cut")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 8} {
+		runtime.GOMAXPROCS(procs)
+		for run := 0; run < 100; run++ {
+			if got := planString(cut(nil)); got != wantStatic {
+				t.Fatalf("procs=%d run %d: static plan drifted", procs, run)
+			}
+			if got := planString(cut(st.Profile)); got != wantProf {
+				t.Fatalf("procs=%d run %d: profiled plan drifted", procs, run)
+			}
+		}
+	}
+	// The profile itself is deterministic too: re-running the profiling
+	// replay must reproduce it byte for byte.
+	_, st2, err := artc.ReplaySharded(b, artc.Options{}, artc.ShardOptions{
+		Target:       target,
+		Init:         func(sys *stack.System) error { return artc.Init(sys, b, "") },
+		SliceActions: sliceActions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Profile == nil || !bytes.Equal(st2.Profile.Encode(), st.Profile.Encode()) {
+		t.Fatal("profiling replay is not reproducible")
+	}
+}

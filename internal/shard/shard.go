@@ -23,6 +23,8 @@
 package shard
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	gopath "path"
 
 	"rootreplay/internal/core"
@@ -76,6 +78,35 @@ type Plan struct {
 
 // Sliced reports whether resource-cut slicing split any component.
 func (p *Plan) Sliced() bool { return p.Orig != nil }
+
+// Fingerprint hashes the partition — component membership and every
+// cross edge — into a stable 64-bit identity. Two plans assign the same
+// fingerprint iff they place every action in the same component and
+// register the same cross edges, so CI can assert that a profiled
+// re-cut actually moved the cut without diffing whole plans.
+func (p *Plan) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w32 := func(v int32) {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+		h.Write(buf[:4])
+	}
+	w32(int32(p.N))
+	for _, c := range p.CompOf {
+		w32(c)
+	}
+	w32(p.EdgeBase)
+	for _, ce := range p.Cross {
+		w32(ce.Edge)
+		w32(ce.From)
+		w32(ce.To)
+	}
+	for _, te := range p.ThreadCross {
+		w32(te.From)
+		w32(te.To)
+	}
+	return h.Sum64()
+}
 
 // EdgeEnds returns the action endpoints of a cross edge, synthetic or
 // not.

@@ -26,7 +26,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 lane="${1:-all}"
-tag="${2:-pr8}"
+tag="${2:-pr9}"
 prev="${3:-}"
 case "$lane" in
   vet-race|determinism|ingest|shard|chaos|cache|fuzz|bench|all) ;;
@@ -96,6 +96,11 @@ shard() {
   "$tmp/tracegen" -family pipeline -stages 4 -ops 200 -handoff 16 -seed 11 \
     -o "$tmp/pipeline.trace" -snapshot "$tmp/pipeline.snap"
   cmp internal/workload/testdata/pipeline_small.trace "$tmp/pipeline.trace"
+  echo "== shard: hot pipeline family spec regenerates byte for byte"
+  "$tmp/tracegen" -family pipeline -stages 4 -ops 200 -handoff 16 -seed 11 \
+    -hot-stage 2 -hot-pages 4 \
+    -o "$tmp/pipeline-hot.trace" -snapshot "$tmp/pipeline-hot.snap"
+  cmp internal/workload/testdata/pipeline_hot_small.trace "$tmp/pipeline-hot.trace"
   echo "== shard: sliced pipeline export matches serial across shard counts"
   "$tmp/artc" compile -trace "$tmp/pipeline.trace" -snapshot "$tmp/pipeline.snap" \
     -o "$tmp/pipeline.bench"
@@ -106,6 +111,32 @@ shard() {
       -slice-actions 700 -warm -no-samples -quiet -o "$tmp/slice-$n.json"
     cmp "$tmp/slice-serial.json" "$tmp/slice-$n.json"
   done
+  echo "== shard: profile-guided re-cut round-trip (auto re-cuts, stays byte-identical to serial)"
+  "$tmp/tracegen" -family pipeline -stages 4 -ops 200 -handoff 8 -seed 7 \
+    -hot-stage 2 -hot-pages 32 \
+    -o "$tmp/profcorpus.trace" -snapshot "$tmp/profcorpus.snap"
+  "$tmp/artc" compile -trace "$tmp/profcorpus.trace" -snapshot "$tmp/profcorpus.snap" \
+    -no-cache -o "$tmp/profcorpus.bench"
+  "$tmp/artc" trace -bench "$tmp/profcorpus.bench" -warm -no-samples -quiet \
+    -o "$tmp/prof-serial.json"
+  GOMAXPROCS=8 "$tmp/artc" trace -bench "$tmp/profcorpus.bench" -shards 2 \
+    -slice-actions 1300 -warm -no-samples -slice-profile off -no-cache \
+    -o "$tmp/prof-static.json" 2>"$tmp/prof-static.err"
+  GOMAXPROCS=8 "$tmp/artc" trace -bench "$tmp/profcorpus.bench" -shards 2 \
+    -slice-actions 1300 -warm -no-samples -slice-profile auto \
+    -cache-dir "$tmp/profcache" -o "$tmp/prof-auto.json" 2>"$tmp/prof-auto.err"
+  grep -q 'slice profile: miss' "$tmp/prof-auto.err"
+  fp_static="$(sed -n 's/.*profiled=false fingerprint=//p' "$tmp/prof-static.err")"
+  fp_auto="$(sed -n 's/.*profiled=true fingerprint=//p' "$tmp/prof-auto.err")"
+  if [ -z "$fp_static" ] || [ -z "$fp_auto" ] || [ "$fp_static" = "$fp_auto" ]; then
+    echo "profiled plan did not re-cut (static=$fp_static auto=$fp_auto)" >&2; exit 1
+  fi
+  cmp "$tmp/prof-serial.json" "$tmp/prof-auto.json"
+  GOMAXPROCS=8 "$tmp/artc" trace -bench "$tmp/profcorpus.bench" -shards 2 \
+    -slice-actions 1300 -warm -no-samples -slice-profile auto \
+    -cache-dir "$tmp/profcache" -o "$tmp/prof-auto2.json" 2>"$tmp/prof-auto2.err"
+  grep -q 'slice profile: hit' "$tmp/prof-auto2.err"
+  cmp "$tmp/prof-auto.json" "$tmp/prof-auto2.json"
   echo "== shard: chaos invariants hold through the sharded replayer"
   GOMAXPROCS=8 "$tmp/artc" chaos -magritte pages_docphoto15 -gen-scale 0.01 \
     -seeds 8 -verify -shards 4
