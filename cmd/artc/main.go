@@ -29,7 +29,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 	"time"
 
 	"rootreplay/internal/artc"
@@ -355,41 +354,7 @@ func convertCmd(args []string) error {
 // targetConfig parses "platform-fsprofile-device[-sched]" names like
 // "linux-ext4-hdd" or "osx-hfs+-ssd-noop".
 func targetConfig(name string, cachePages int64, slice time.Duration) (stack.Config, error) {
-	parts := strings.Split(name, "-")
-	if len(parts) < 3 {
-		return stack.Config{}, fmt.Errorf("target %q: want platform-fs-device[-sched]", name)
-	}
-	conf := stack.Config{Name: name, Platform: stack.Platform(parts[0])}
-	prof, ok := stack.ProfileByName(parts[1])
-	if !ok {
-		return stack.Config{}, fmt.Errorf("unknown fs profile %q", parts[1])
-	}
-	conf.Profile = prof
-	switch parts[2] {
-	case "hdd":
-		conf.Device = stack.DeviceHDD
-	case "ssd":
-		conf.Device = stack.DeviceSSD
-	case "raid0":
-		conf.Device = stack.DeviceRAID
-	default:
-		return stack.Config{}, fmt.Errorf("unknown device %q", parts[2])
-	}
-	conf.Scheduler = stack.SchedCFQ
-	if len(parts) > 3 {
-		switch parts[3] {
-		case "noop":
-			conf.Scheduler = stack.SchedNoop
-		case "deadline":
-			conf.Scheduler = stack.SchedDeadline
-		case "cfq":
-		default:
-			return stack.Config{}, fmt.Errorf("unknown scheduler %q", parts[3])
-		}
-	}
-	conf.CachePages = cachePages
-	conf.SliceSync = slice
-	return conf, nil
+	return stack.ParseTarget(name, cachePages, slice)
 }
 
 func replayCmd(args []string) error {

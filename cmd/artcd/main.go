@@ -1,0 +1,103 @@
+// Command artcd is the replay-as-a-service daemon: a long-running
+// multi-tenant HTTP/JSON server over the artc pipeline.
+//
+//	artcd -addr 127.0.0.1:8787 -cache-dir /var/cache/artc
+//
+// Tenants upload traces (content-addressed; identical bytes share one
+// compiled artifact across tenants), then submit replay, export, and
+// chaos jobs that queue onto a bounded worker pool. Replay results are
+// deterministic — a pure function of (trace, options) on virtual
+// clocks — so concurrent jobs cannot perturb each other, which is what
+// makes the pipeline safely servable. See internal/serve for the API
+// and DESIGN.md "Replay as a service" for the model.
+//
+// Exit contract: 0 after a clean drain (SIGINT/SIGTERM received, every
+// admitted job completed), 1 on runtime failure or an incomplete drain,
+// 2 on flag errors. The listen address is announced on stderr as
+// "artcd: listening on <host:port>" so scripts can bind port 0 and
+// parse the ephemeral port.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rootreplay/internal/artifact"
+	"rootreplay/internal/serve"
+)
+
+func main() {
+	fs := flag.NewFlagSet("artcd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8787", "listen address (port 0 picks an ephemeral port)")
+	cacheDir := fs.String("cache-dir", "", "compiled-artifact cache directory (default: <user cache dir>/artc)")
+	noCache := fs.Bool("no-cache", false, "disable the compiled-artifact cache")
+	workers := fs.Int("workers", 0, "job executor workers (0 = GOMAXPROCS)")
+	queueBound := fs.Int("queue-bound", serve.DefaultQueueBound, "max queued jobs per tenant before 429")
+	maxUploadMB := fs.Int64("max-upload-mb", serve.DefaultMaxUploadBytes>>20, "max bytes per trace upload (MiB)")
+	budgetMB := fs.Int64("tenant-budget-mb", serve.DefaultTenantBudgetBytes>>20, "total upload bytes per tenant (MiB)")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "max time to finish admitted jobs on SIGTERM")
+	testKinds := fs.Bool("debug-sleep-kind", false, "admit the 'sleep' test job kind (CI fault lanes only)")
+	fs.Parse(os.Args[1:])
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "artcd: unexpected arguments: %v\n", fs.Args())
+		os.Exit(2)
+	}
+
+	var store *artifact.Store
+	if !*noCache {
+		var err error
+		if store, err = artifact.Open(*cacheDir, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "artcd: artifact cache disabled: %v\n", err)
+		}
+	}
+	srv := serve.New(serve.Config{
+		Store:             store,
+		Workers:           *workers,
+		QueueBound:        *queueBound,
+		MaxUploadBytes:    *maxUploadMB << 20,
+		TenantBudgetBytes: *budgetMB << 20,
+		EnableTestKinds:   *testKinds,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "artcd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "artcd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "artcd: %v\n", err)
+		os.Exit(1)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "artcd: %v received, draining\n", got)
+	}
+
+	// Drain: refuse new work immediately, let every admitted job finish
+	// (status polls keep answering meanwhile), then stop the listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	hs.Shutdown(hctx)
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "artcd: drain incomplete: %v\n", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "artcd: drained, exiting")
+}

@@ -1,0 +1,278 @@
+// Command artcdctl is the artcd service client, built for scripting:
+// every command maps to one API call, output is machine-friendly, and
+// exit codes distinguish the outcomes CI lanes assert on.
+//
+//	artcdctl -base http://127.0.0.1:8787 -tenant ci upload app.trace
+//	artcdctl -base ... -tenant ci submit job.json     (or - for stdin)
+//	artcdctl -base ... -tenant ci wait j000001 -timeout 2m
+//	artcdctl -base ... -tenant ci result j000001 -o out.json
+//	artcdctl -base ... -tenant ci status j000001
+//	artcdctl -base ... -tenant ci cancel j000001
+//	artcdctl -base ... metrics
+//
+// upload prints the blob id; submit prints the job id; status/wait/
+// cancel print the status document. On any non-2xx response the
+// server's single-line JSON error is printed to stdout and a
+// "retry-after: N" line (when present) to stderr.
+//
+// Exit contract: 0 success; 1 transport or server error; 2 usage;
+// 3 the waited job failed; 4 the waited job was canceled;
+// 7 backpressure (HTTP 429).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+const (
+	exitOK           = 0
+	exitError        = 1
+	exitUsage        = 2
+	exitJobFailed    = 3
+	exitJobCanceled  = 4
+	exitBackpressure = 7
+)
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8787", "artcd base URL")
+	tenant := flag.String("tenant", "", "tenant namespace (required for tenant-scoped commands)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := &client{base: strings.TrimRight(*base, "/"), tenant: *tenant}
+	var code int
+	switch args[0] {
+	case "upload":
+		code = c.upload(args[1:])
+	case "submit":
+		code = c.submit(args[1:])
+	case "status":
+		code = c.status(args[1:])
+	case "wait":
+		code = c.wait(args[1:])
+	case "result":
+		code = c.result(args[1:])
+	case "cancel":
+		code = c.cancelJob(args[1:])
+	case "metrics":
+		code = c.metrics(args[1:])
+	default:
+		usage()
+	}
+	os.Exit(code)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		"usage: artcdctl -base URL [-tenant NAME] <upload|submit|status|wait|result|cancel|metrics> [args]")
+	os.Exit(exitUsage)
+}
+
+type client struct {
+	base   string
+	tenant string
+}
+
+func (c *client) tenantURL(rest string) string {
+	if c.tenant == "" {
+		fmt.Fprintln(os.Stderr, "artcdctl: -tenant is required for this command")
+		os.Exit(exitUsage)
+	}
+	return c.base + "/v1/tenants/" + c.tenant + rest
+}
+
+// call performs one request. Non-2xx responses are reported on the
+// tool contract (body to stdout, retry-after to stderr) and mapped to
+// an exit code; 2xx responses return the body.
+func (c *client) call(method, url string, body io.Reader) ([]byte, int, bool) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "artcdctl: %v\n", err)
+		return nil, exitError, false
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "artcdctl: %v\n", err)
+		return nil, exitError, false
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "artcdctl: reading response: %v\n", err)
+		return nil, exitError, false
+	}
+	if resp.StatusCode/100 != 2 {
+		os.Stdout.Write(data) // the server's single-line JSON error
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			fmt.Fprintf(os.Stderr, "retry-after: %s\n", ra)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return data, exitBackpressure, false
+		}
+		return data, exitError, false
+	}
+	return data, exitOK, true
+}
+
+func (c *client) upload(args []string) int {
+	if len(args) != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "artcdctl: %v\n", err)
+		return exitError
+	}
+	body, code, ok := c.call(http.MethodPost, c.tenantURL("/traces"), bytes.NewReader(data))
+	if !ok {
+		return code
+	}
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "artcdctl: %v\n", err)
+		return exitError
+	}
+	fmt.Println(doc.ID)
+	return exitOK
+}
+
+func (c *client) submit(args []string) int {
+	if len(args) != 1 {
+		usage()
+	}
+	var req []byte
+	var err error
+	if args[0] == "-" {
+		req, err = io.ReadAll(os.Stdin)
+	} else {
+		req, err = os.ReadFile(args[0])
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "artcdctl: %v\n", err)
+		return exitError
+	}
+	body, code, ok := c.call(http.MethodPost, c.tenantURL("/jobs"), bytes.NewReader(req))
+	if !ok {
+		return code
+	}
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "artcdctl: %v\n", err)
+		return exitError
+	}
+	fmt.Println(doc.ID)
+	return exitOK
+}
+
+func (c *client) status(args []string) int {
+	if len(args) != 1 {
+		usage()
+	}
+	body, code, ok := c.call(http.MethodGet, c.tenantURL("/jobs/"+args[0]), nil)
+	if !ok {
+		return code
+	}
+	os.Stdout.Write(body)
+	return exitOK
+}
+
+func (c *client) wait(args []string) int {
+	fs := flag.NewFlagSet("wait", flag.ExitOnError)
+	timeout := fs.Duration("timeout", 2*time.Minute, "give up after this long")
+	interval := fs.Duration("interval", 100*time.Millisecond, "poll interval")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	id := fs.Arg(0)
+	deadline := time.Now().Add(*timeout)
+	for {
+		body, code, ok := c.call(http.MethodGet, c.tenantURL("/jobs/"+id), nil)
+		if !ok {
+			return code
+		}
+		var doc struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "artcdctl: %v\n", err)
+			return exitError
+		}
+		switch doc.State {
+		case "done":
+			os.Stdout.Write(body)
+			return exitOK
+		case "failed":
+			os.Stdout.Write(body)
+			return exitJobFailed
+		case "canceled":
+			os.Stdout.Write(body)
+			return exitJobCanceled
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "artcdctl: job %s still %s after %v\n", id, doc.State, *timeout)
+			return exitError
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func (c *client) result(args []string) int {
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	out := fs.String("o", "-", "output file (- = stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	body, code, ok := c.call(http.MethodGet, c.tenantURL("/jobs/"+fs.Arg(0)+"/result"), nil)
+	if !ok {
+		return code
+	}
+	if *out == "-" {
+		os.Stdout.Write(body)
+		return exitOK
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "artcdctl: %v\n", err)
+		return exitError
+	}
+	return exitOK
+}
+
+func (c *client) cancelJob(args []string) int {
+	if len(args) != 1 {
+		usage()
+	}
+	body, code, ok := c.call(http.MethodDelete, c.tenantURL("/jobs/"+args[0]), nil)
+	if !ok {
+		return code
+	}
+	os.Stdout.Write(body)
+	return exitOK
+}
+
+func (c *client) metrics(args []string) int {
+	if len(args) != 0 {
+		usage()
+	}
+	body, code, ok := c.call(http.MethodGet, c.base+"/metrics", nil)
+	if !ok {
+		return code
+	}
+	os.Stdout.Write(body)
+	return exitOK
+}

@@ -148,26 +148,7 @@ func run(wl, source string, threads, ops int, fileMB int64, records int, scale f
 }
 
 func sourceConfig(name string) (stack.Config, error) {
-	parts := strings.Split(name, "-")
-	if len(parts) < 3 {
-		return stack.Config{}, fmt.Errorf("source %q: want platform-fs-device", name)
-	}
-	prof, ok := stack.ProfileByName(parts[1])
-	if !ok {
-		return stack.Config{}, fmt.Errorf("unknown fs profile %q", parts[1])
-	}
-	conf := stack.Config{Name: name, Platform: stack.Platform(parts[0]), Profile: prof, Scheduler: stack.SchedCFQ}
-	switch parts[2] {
-	case "hdd":
-		conf.Device = stack.DeviceHDD
-	case "ssd":
-		conf.Device = stack.DeviceSSD
-	case "raid0":
-		conf.Device = stack.DeviceRAID
-	default:
-		return stack.Config{}, fmt.Errorf("unknown device %q", parts[2])
-	}
-	return conf, nil
+	return stack.ParseTarget(name, 0, 0)
 }
 
 func makeWorkload(name string, threads, ops int, fileBytes int64, records int, seed int64) (workload.Workload, error) {

@@ -456,15 +456,15 @@ type clusterCoord struct {
 func newClusterCoord(plan *shard.Plan, cluster []int32) *clusterCoord {
 	n := len(cluster)
 	c := &clusterCoord{
-		clock:   make([]atomic.Int64, n),
-		state:   make([]atomic.Int32, n),
-		target:  make([]time.Duration, n),
-		granted: make([]bool, n),
-		parked:  make([]int, n),
-		denseOf: make(map[int32]int32),
-		srcsOf:  make([][]int32, n),
-		dstsOf:  make([][]int32, n),
-		unpub:   make([][]atomic.Int32, n),
+		clock:     make([]atomic.Int64, n),
+		state:     make([]atomic.Int32, n),
+		target:    make([]time.Duration, n),
+		granted:   make([]bool, n),
+		parked:    make([]int, n),
+		denseOf:   make(map[int32]int32),
+		srcsOf:    make([][]int32, n),
+		dstsOf:    make([][]int32, n),
+		unpub:     make([][]atomic.Int32, n),
 		deliver:   make([][]delivery, n),
 		inj:       make([][]injection, n),
 		injN:      make([]atomic.Int32, n),

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Counters is a concurrency-safe set of named int64 counters and
+// gauges, the substrate of artcd's /metrics endpoint. It is
+// deliberately minimal — monotonic Add for counters, Set for gauges,
+// and a deterministic text rendering — so a scrape is cheap, readable,
+// and diffable in CI. Names follow the Prometheus convention
+// (snake_case with a subsystem prefix); rendering sorts by name, so two
+// snapshots of the same state serialize identically.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]int64)}
+}
+
+// Add adds d (which may be negative, for paired inc/dec gauge use) to
+// the named counter, creating it at zero first if absent.
+func (c *Counters) Add(name string, d int64) {
+	c.mu.Lock()
+	c.m[name] += d
+	c.mu.Unlock()
+}
+
+// Set stores an absolute gauge value.
+func (c *Counters) Set(name string, v int64) {
+	c.mu.Lock()
+	c.m[name] = v
+	c.mu.Unlock()
+}
+
+// Get returns the named value (zero if it was never touched).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of every counter, for callers that need a
+// consistent view across names.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteTo renders every counter as "name value\n" lines sorted by name.
+// It implements io.WriterTo so an HTTP handler can stream it directly.
+func (c *Counters) WriteTo(w io.Writer) (int64, error) {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var total int64
+	for _, k := range names {
+		n, err := fmt.Fprintf(w, "%s %d\n", k, snap[k])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

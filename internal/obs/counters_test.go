@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Add("b_two", 2)
+	c.Add("a_one", 1)
+	c.Add("b_two", 3)
+	c.Set("c_gauge", 7)
+	c.Set("c_gauge", 4)
+	if got := c.Get("b_two"); got != 5 {
+		t.Fatalf("Get(b_two) = %d, want 5", got)
+	}
+	if got := c.Get("absent"); got != 0 {
+		t.Fatalf("Get(absent) = %d, want 0", got)
+	}
+	var sb strings.Builder
+	if _, err := c.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a_one 1\nb_two 5\nc_gauge 4\n"
+	if sb.String() != want {
+		t.Fatalf("WriteTo = %q, want %q", sb.String(), want)
+	}
+}
+
+// Rendering must be deterministic: same state, same bytes.
+func TestCountersDeterministicRender(t *testing.T) {
+	mk := func(order []string) string {
+		c := NewCounters()
+		for _, name := range order {
+			c.Add(name, 1)
+		}
+		var sb strings.Builder
+		c.WriteTo(&sb)
+		return sb.String()
+	}
+	a := mk([]string{"x", "y", "z"})
+	b := mk([]string{"z", "x", "y"})
+	if a != b {
+		t.Fatalf("insertion order leaked into rendering: %q vs %q", a, b)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 8000 {
+		t.Fatalf("concurrent adds lost updates: %d, want 8000", got)
+	}
+}

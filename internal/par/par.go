@@ -13,6 +13,51 @@ import (
 	"sync/atomic"
 )
 
+// Pool is a long-lived bounded worker pool: a fixed team of goroutines
+// executing submitted tasks. Unlike ForEach it serves an open-ended
+// stream of work — the artcd job executor runs on one — and it
+// deliberately has no internal queue: Submit hands the task directly to
+// an idle worker and blocks while all workers are busy. Backpressure is
+// therefore explicit at the submission site, never hidden buffering;
+// callers that must not block (admission control paths) keep their own
+// bounded queues in front and feed the pool from a dispatcher.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+// NewPool starts a pool of the given size (< 1 selects GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan func())}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit hands fn to an idle worker, blocking until one accepts it.
+// Submit after Close panics (send on closed channel), matching the
+// lifecycle contract: the owner stops submitting before closing.
+func (p *Pool) Submit(fn func()) {
+	p.tasks <- fn
+}
+
+// Close stops accepting tasks and waits for every running task to
+// finish. It leaves no worker goroutines behind.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
 // ForEach runs fn(i) for every i in [0, n), fanning out over up to
 // GOMAXPROCS workers. It always runs every index (no cancellation on
 // error, so index-slotted results stay fully populated) and returns the

@@ -3,8 +3,10 @@ package par
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachRunsEveryIndex(t *testing.T) {
@@ -37,6 +39,57 @@ func TestForEachFirstErrorByIndex(t *testing.T) {
 	})
 	if err != wantErr {
 		t.Fatalf("err = %v, want lowest-index error %v", err, wantErr)
+	}
+}
+
+func TestPoolRunsEverySubmittedTask(t *testing.T) {
+	p := NewPool(4)
+	var ran atomic.Int32
+	for i := 0; i < 100; i++ {
+		p.Submit(func() { ran.Add(1) })
+	}
+	p.Close()
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("ran %d of 100 tasks", got)
+	}
+}
+
+// Submit must block while every worker is busy: the pool provides
+// direct handoff, not hidden buffering.
+func TestPoolSubmitBlocksWhenSaturated(t *testing.T) {
+	p := NewPool(2)
+	release := make(chan struct{})
+	var running sync.WaitGroup
+	running.Add(2)
+	for i := 0; i < 2; i++ {
+		p.Submit(func() { running.Done(); <-release })
+	}
+	running.Wait() // both workers busy
+	extra := make(chan struct{})
+	go func() {
+		p.Submit(func() {})
+		close(extra)
+	}()
+	time.Sleep(20 * time.Millisecond) // give Submit a chance to (wrongly) return
+	select {
+	case <-extra:
+		t.Fatal("Submit returned while all workers were busy")
+	default:
+	}
+	close(release)
+	<-extra
+	p.Close()
+}
+
+func TestPoolCloseWaitsForRunningTasks(t *testing.T) {
+	p := NewPool(3)
+	var done atomic.Int32
+	for i := 0; i < 3; i++ {
+		p.Submit(func() { done.Add(1) })
+	}
+	p.Close()
+	if got := done.Load(); got != 3 {
+		t.Fatalf("Close returned with %d of 3 tasks finished", got)
 	}
 }
 

@@ -1,0 +1,52 @@
+package stack
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ParseTarget parses a "platform-fsprofile-device[-sched]" machine name
+// like "linux-ext4-hdd" or "osx-hfs+-ssd-noop" into a Config. It is the
+// one shared parser for every surface that names a simulated machine —
+// the artc CLI, tracegen's source machines, and the artcd service — so
+// a target string means the same machine everywhere. cachePages and
+// slice carry the optional page-cache and CFQ slice_sync overrides
+// (zero keeps the defaults).
+func ParseTarget(name string, cachePages int64, slice time.Duration) (Config, error) {
+	parts := strings.Split(name, "-")
+	if len(parts) < 3 {
+		return Config{}, fmt.Errorf("target %q: want platform-fs-device[-sched]", name)
+	}
+	conf := Config{Name: name, Platform: Platform(parts[0])}
+	prof, ok := ProfileByName(parts[1])
+	if !ok {
+		return Config{}, fmt.Errorf("unknown fs profile %q", parts[1])
+	}
+	conf.Profile = prof
+	switch parts[2] {
+	case "hdd":
+		conf.Device = DeviceHDD
+	case "ssd":
+		conf.Device = DeviceSSD
+	case "raid0":
+		conf.Device = DeviceRAID
+	default:
+		return Config{}, fmt.Errorf("unknown device %q", parts[2])
+	}
+	conf.Scheduler = SchedCFQ
+	if len(parts) > 3 {
+		switch parts[3] {
+		case "noop":
+			conf.Scheduler = SchedNoop
+		case "deadline":
+			conf.Scheduler = SchedDeadline
+		case "cfq":
+		default:
+			return Config{}, fmt.Errorf("unknown scheduler %q", parts[3])
+		}
+	}
+	conf.CachePages = cachePages
+	conf.SliceSync = slice
+	return conf, nil
+}

@@ -3,38 +3,56 @@
 #
 #   scripts/ci.sh [lane] [tag] [prev]
 #
-#   lane  one of vet-race | determinism | ingest | shard | chaos | cache |
-#         fuzz | bench, or "all" (the default). For backward
-#         compatibility a first argument that looks like a tag
-#         (pr5, v2, ...) selects "all" with that tag.
+#   lane  one of lint | vet-race | determinism | ingest | shard | chaos |
+#         cache | fuzz | service | service-fault | bench, or "all" (the
+#         default). For backward compatibility a first argument that
+#         looks like a tag (pr5, v2, ...) selects "all" with that tag.
 #   tag   perfstat snapshot tag; the bench lane writes BENCH_<tag>.json.
+#         Defaults to pr<N+1> where N is the newest committed
+#         BENCH_pr<N>.json, so the script needs no edit per PR.
 #   prev  baseline BENCH_*.json for the benchcmp gate. When omitted, the
 #         newest BENCH_*.json other than the current tag's is used.
 #
-# Lanes: vet-race (go vet + race-enabled tests), determinism
-# (byte-identical trace export under forced parallelism), ingest
-# (sequential and sharded strace parses agree), shard (sharded and
-# sliced replay match serial byte for byte across GOMAXPROCS, shard
+# Lanes: lint (gofmt + go vet), vet-race (race-enabled tests),
+# determinism (byte-identical trace export under forced parallelism),
+# ingest (sequential and sharded strace parses agree), shard (sharded
+# and sliced replay match serial byte for byte across GOMAXPROCS, shard
 # counts, and slice granularities, the components and pipeline family
 # specs regenerate exactly, and the chaos invariants hold through the
-# sharded replayer), chaos (seeded fault sweep with
-# per-seed verification plus a single-seed bit-repro check),
-# fuzz (a short strace-lexer fuzz smoke), bench (perfstat snapshot and
-# the benchcmp regression gate).
+# sharded replayer), chaos (seeded fault sweep with per-seed
+# verification plus a single-seed bit-repro check), cache (artifact
+# cache hit/corruption behavior), fuzz (a short strace-lexer fuzz
+# smoke), service (boot artcd, drive a replay over HTTP, compare the
+# export byte for byte against the artc CLI), service-fault (overfill a
+# tenant queue, assert bounded 429 backpressure and a clean SIGTERM
+# drain), bench (perfstat snapshot and the benchcmp regression gate).
 set -eu
 
 cd "$(dirname "$0")/.."
 
+# Default perfstat tag: one past the newest committed BENCH_pr<N>.json,
+# so a new PR's snapshot never clobbers a landed baseline.
+default_tag() {
+  last="$(ls BENCH_*.json 2>/dev/null |
+    sed -n 's/^BENCH_pr\([0-9][0-9]*\)\.json$/\1/p' | sort -n | tail -n 1)"
+  if [ -n "$last" ]; then
+    echo "pr$((last + 1))"
+  else
+    echo "local"
+  fi
+}
+
 lane="${1:-all}"
-tag="${2:-pr9}"
+tag="${2:-$(default_tag)}"
 prev="${3:-}"
 case "$lane" in
-  vet-race|determinism|ingest|shard|chaos|cache|fuzz|bench|all) ;;
+  lint|vet-race|determinism|ingest|shard|chaos|cache|fuzz|service|service-fault|bench|all) ;;
   *) tag="$lane"; lane="all" ;;
 esac
 
 tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT INT TERM
+artcd_pid=""
+trap '[ -n "$artcd_pid" ] && kill "$artcd_pid" 2>/dev/null; rm -rf "$tmp"' EXIT INT TERM
 
 # Newest BENCH_*.json other than the current tag's, by version order, so
 # the gate always compares against the latest landed snapshot.
@@ -42,9 +60,19 @@ latest_bench() {
   ls BENCH_*.json 2>/dev/null | grep -v "^BENCH_${tag}\.json\$" | sort -V | tail -n 1
 }
 
-vet_race() {
+lint() {
+  echo "== gofmt"
+  fmt="$(gofmt -l .)"
+  if [ -n "$fmt" ]; then
+    echo "gofmt wants to rewrite:" >&2
+    echo "$fmt" >&2
+    exit 1
+  fi
   echo "== go vet"
   go vet ./...
+}
+
+vet_race() {
   echo "== go test -race (GOMAXPROCS=8 stresses the kernel handoff paths)"
   GOMAXPROCS=8 go test -race ./...
 }
@@ -188,6 +216,112 @@ fuzz() {
   go test -run '^$' -fuzz 'FuzzDecodeBinary' -fuzztime 20s -fuzzminimizetime 5s ./internal/artc/
 }
 
+# start_artcd boots the daemon on an ephemeral port with the given
+# extra flags, parses the announced address from its stderr log, and
+# sets $base. stop_artcd sends SIGTERM and asserts a clean drain.
+start_artcd() {
+  : > "$tmp/artcd.log"
+  "$tmp/artcd" -addr 127.0.0.1:0 "$@" 2>"$tmp/artcd.log" &
+  artcd_pid=$!
+  addr=""
+  i=0
+  while [ $i -lt 100 ]; do
+    addr="$(sed -n 's/^artcd: listening on //p' "$tmp/artcd.log")"
+    [ -n "$addr" ] && break
+    i=$((i + 1))
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "artcd never announced its listen address" >&2
+    cat "$tmp/artcd.log" >&2
+    exit 1
+  fi
+  base="http://$addr"
+}
+
+stop_artcd() {
+  kill -TERM "$artcd_pid"
+  wait "$artcd_pid" || { echo "artcd exited nonzero" >&2; exit 1; }
+  artcd_pid=""
+  grep -q "drained, exiting" "$tmp/artcd.log"
+}
+
+service() {
+  echo "== service: HTTP replay export matches the artc CLI byte for byte"
+  go build -o "$tmp/artc" ./cmd/artc
+  go build -o "$tmp/artcd" ./cmd/artcd
+  go build -o "$tmp/artcdctl" ./cmd/artcdctl
+  go build -o "$tmp/tracegen" ./cmd/tracegen
+  "$tmp/tracegen" -workload magritte:pages_docphoto15 -scale 0.01 -seed 5 \
+    -o "$tmp/svc.trace" -snapshot "$tmp/svc.snap"
+  "$tmp/artc" compile -trace "$tmp/svc.trace" -snapshot "$tmp/svc.snap" \
+    -no-cache -o "$tmp/svc.bench"
+  "$tmp/artc" trace -bench "$tmp/svc.bench" -quiet -o "$tmp/svc-cli.json"
+  start_artcd -cache-dir "$tmp/svc-cache"
+  trace_id="$("$tmp/artcdctl" -base "$base" -tenant ci upload "$tmp/svc.trace")"
+  snap_id="$("$tmp/artcdctl" -base "$base" -tenant ci upload "$tmp/svc.snap")"
+  printf '{"kind":"export","trace":"%s","snapshot":"%s"}\n' "$trace_id" "$snap_id" \
+    > "$tmp/svc-job.json"
+  job="$("$tmp/artcdctl" -base "$base" -tenant ci submit "$tmp/svc-job.json")"
+  "$tmp/artcdctl" -base "$base" -tenant ci wait "$job" >/dev/null
+  "$tmp/artcdctl" -base "$base" -tenant ci result -o "$tmp/svc-http.json" "$job"
+  cmp "$tmp/svc-cli.json" "$tmp/svc-http.json"
+  echo "== service: metrics count the job and the compile"
+  "$tmp/artcdctl" -base "$base" metrics > "$tmp/svc-metrics.txt"
+  grep -q "^artcd_jobs_done 1\$" "$tmp/svc-metrics.txt"
+  grep -q "^artcd_compiles 1\$" "$tmp/svc-metrics.txt"
+  grep -q "^artcd_cache_misses 1\$" "$tmp/svc-metrics.txt"
+  echo "== service: SIGTERM drains clean"
+  stop_artcd
+}
+
+service_fault() {
+  echo "== service-fault: a full tenant queue answers 429, bounded and observable"
+  go build -o "$tmp/artcd" ./cmd/artcd
+  go build -o "$tmp/artcdctl" ./cmd/artcdctl
+  start_artcd -no-cache -workers 1 -queue-bound 2 -debug-sleep-kind
+  ctl() { "$tmp/artcdctl" -base "$base" -tenant ci "$@"; }
+  printf '{"kind":"sleep","ms":30000}\n' > "$tmp/sleeper.json"
+  printf '{"kind":"sleep","ms":0}\n' > "$tmp/sleep0.json"
+  sleeper="$(ctl submit "$tmp/sleeper.json")"
+  i=0
+  while ! ctl status "$sleeper" | grep -q '"state":"running"'; do
+    i=$((i + 1))
+    [ $i -lt 100 ] || { echo "sleeper never started running" >&2; exit 1; }
+    sleep 0.1
+  done
+  ctl submit "$tmp/sleep0.json" >/dev/null
+  victim="$(ctl submit "$tmp/sleep0.json")"
+  set +e
+  rejected="$(ctl submit "$tmp/sleep0.json" 2>"$tmp/reject.err")"
+  code=$?
+  set -e
+  if [ "$code" -ne 7 ]; then
+    echo "expected backpressure exit code 7, got $code ($rejected)" >&2
+    exit 1
+  fi
+  if [ "$(printf '%s\n' "$rejected" | wc -l)" -ne 1 ]; then
+    echo "429 body is not a single line: $rejected" >&2
+    exit 1
+  fi
+  printf '%s' "$rejected" | grep -q '"error":"queue_full"'
+  grep -q '^retry-after: ' "$tmp/reject.err"
+  echo "== service-fault: canceling a queued job frees its queue slot"
+  ctl cancel "$victim" | grep -q '"state":"canceled"'
+  ctl submit "$tmp/sleep0.json" >/dev/null
+  ctl cancel "$sleeper" >/dev/null
+  i=0
+  while ! ctl status "$sleeper" | grep -q '"state":"canceled"'; do
+    i=$((i + 1))
+    [ $i -lt 100 ] || { echo "running sleeper never observed its cancel" >&2; exit 1; }
+    sleep 0.1
+  done
+  echo "== service-fault: metrics expose the rejection"
+  "$tmp/artcdctl" -base "$base" metrics | grep -q "^artcd_rejected_backpressure 1\$"
+  echo "== service-fault: SIGTERM drains the backlog clean"
+  stop_artcd
+}
+
 bench() {
   echo "== go test -bench=Compile -benchtime=1x"
   go test -run '^$' -bench 'Compile' -benchtime 1x -benchmem .
@@ -203,13 +337,17 @@ bench() {
 }
 
 case "$lane" in
-  vet-race)    vet_race ;;
-  determinism) determinism ;;
-  ingest)      ingest ;;
-  shard)       shard ;;
-  chaos)       chaos ;;
-  cache)       cache ;;
-  fuzz)        fuzz ;;
-  bench)       bench ;;
-  all)         vet_race; determinism; ingest; shard; chaos; cache; fuzz; bench ;;
+  lint)          lint ;;
+  vet-race)      vet_race ;;
+  determinism)   determinism ;;
+  ingest)        ingest ;;
+  shard)         shard ;;
+  chaos)         chaos ;;
+  cache)         cache ;;
+  fuzz)          fuzz ;;
+  service)       service ;;
+  service-fault) service_fault ;;
+  bench)         bench ;;
+  all)           lint; vet_race; determinism; ingest; shard; chaos; cache
+                 fuzz; service; service_fault; bench ;;
 esac
